@@ -1,0 +1,47 @@
+"""Ablation (Section II-D): isolation and global-refresh mitigations.
+
+Completes the paper's four-class mitigation taxonomy with the two classes
+Figure 1b's matrix doesn't cover: guard-row isolation (broken across a
+single guard by the deployed mitigation's own refreshes — the blast-radius
+assumption) and global refresh-rate increase (arithmetically infeasible
+at modern thresholds).
+"""
+
+from conftest import once
+
+from repro.rowhammer.global_refresh import analyze, feasibility_breakpoint
+from repro.rowhammer.isolation import evaluate_isolation
+from repro.rowhammer.mitigations import TRRMitigation
+
+
+def _campaign():
+    return {
+        "guard1_alone": evaluate_isolation(1, None),
+        "guard1_with_trr": evaluate_isolation(1, lambda: TRRMitigation(4)),
+        "guard2_with_trr": evaluate_isolation(2, lambda: TRRMitigation(4)),
+    }
+
+
+def test_isolation_and_global_refresh(benchmark):
+    outcomes = once(benchmark, _campaign)
+    print("\nGuard-row isolation under boundary hammering:")
+    for label, o in outcomes.items():
+        print(
+            f"  {label:18s} cross-domain flips={o.cross_domain_flips:3d} "
+            f"guard flips={o.guard_row_flips:3d} overhead={o.capacity_overhead:.1%}"
+        )
+    assert outcomes["guard1_alone"].isolation_held
+    assert not outcomes["guard1_with_trr"].isolation_held  # blast radius 2
+    assert outcomes["guard2_with_trr"].isolation_held
+
+    print("\nGlobal refresh feasibility (paper Section II-D):")
+    for threshold in (139_000, 32_000, 10_000, 4_800):
+        a = analyze(threshold)
+        print(
+            f"  threshold {threshold:>7,}: window {a.required_window_ms:5.2f}ms, "
+            f"refresh overhead {a.refresh_overhead:7.1%} "
+            f"{'OK' if a.feasible else 'INFEASIBLE'}"
+        )
+    assert analyze(139_000).feasible
+    assert not analyze(10_000).feasible
+    assert 30_000 < feasibility_breakpoint() < 100_000

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the codec primitives on the data path.
+
+Not a paper figure: these measure the Python implementation's throughput
+for the operations a controller performs per access (useful when sizing
+larger fault-injection campaigns).
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import SafeGuardConfig
+from repro.core.secded import SafeGuardSECDED
+from repro.ecc.chipkill import ChipkillCode
+from repro.ecc.secded import LineECC1, WordSECDEDLine
+from repro.mac.linemac import LineMAC
+
+RNG = random.Random(99)
+LINE_INT = RNG.getrandbits(512)
+LINE_BYTES = LINE_INT.to_bytes(64, "little")
+
+
+def test_mac_compute_throughput(benchmark):
+    mac = LineMAC(b"bench-key-123456", 46)
+    result = benchmark(mac.compute, LINE_BYTES, 0x4000)
+    assert 0 <= result < (1 << 46)
+
+
+def test_line_ecc1_encode_throughput(benchmark):
+    code = LineECC1(566)
+    payload = RNG.getrandbits(566)
+    checks = benchmark(code.encode, payload)
+    assert 0 <= checks < (1 << 10)
+
+
+def test_word_secded_encode_throughput(benchmark):
+    code = WordSECDEDLine()
+    _, ecc = benchmark(code.encode, LINE_INT)
+    assert 0 <= ecc < (1 << 64)
+
+
+def test_chipkill_encode_throughput(benchmark):
+    code = ChipkillCode()
+    _, checks = benchmark(code.encode, LINE_INT)
+    assert 0 <= checks < (1 << 64)
+
+
+def test_safeguard_write_read_throughput(benchmark):
+    controller = SafeGuardSECDED(SafeGuardConfig(key=b"bench-key-123456"))
+
+    def write_read():
+        controller.write(0x40, LINE_BYTES)
+        return controller.read(0x40)
+
+    result = benchmark(write_read)
+    assert result.ok

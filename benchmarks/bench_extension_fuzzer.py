@@ -1,0 +1,36 @@
+"""Extension: automated pattern discovery (Blacksmith-style fuzzing).
+
+Mechanizes the paper's motivation — "new attack patterns continue to
+break existing mitigations" — by letting a random-search fuzzer discover
+breaking patterns against the mitigation zoo without being told about
+TRRespass or Half-Double.
+"""
+
+from conftest import once
+
+from repro.rowhammer.fuzzer import PatternFuzzer
+from repro.rowhammer.mitigations import GrapheneMitigation, TRRMitigation
+
+
+def _campaign():
+    trr = PatternFuzzer(lambda: TRRMitigation(4), seed=5, budget=120_000).search(20)
+    graphene = PatternFuzzer(
+        lambda: GrapheneMitigation(600, 120_000), seed=5, budget=120_000
+    ).search(30)
+    return trr, graphene
+
+
+def test_fuzzer_discovers_breakthroughs(benchmark):
+    trr, graphene = once(benchmark, _campaign)
+    print(
+        f"\nFuzzer vs TRR: best={trr.best_flips} flips, first breakthrough "
+        f"at trial {trr.trials_to_first_break}"
+    )
+    if trr.best_genome:
+        print(f"  winning genome: {trr.best_genome}")
+    print(
+        f"Fuzzer vs Graphene: best={graphene.best_flips} flips, first at "
+        f"trial {graphene.trials_to_first_break}"
+    )
+    assert trr.found_breakthrough  # tracker flushing rediscovered
+    assert graphene.found_breakthrough  # mitigation-assisted distance-2

@@ -1,0 +1,18 @@
+"""Figure 10: Chipkill vs. SafeGuard-Chipkill reliability (1x and 10x FIT)."""
+
+from conftest import BENCH_MODULES, once
+
+from repro.experiments import fig10_reliability_chipkill
+
+
+def test_fig10_reliability(benchmark):
+    results = once(
+        benchmark, fig10_reliability_chipkill.run, n_modules=BENCH_MODULES // 2
+    )
+    fig10_reliability_chipkill.report(results)
+    for multiplier, (chipkill, safeguard) in results.items():
+        # Virtually identical correction reliability.
+        tolerance = max(5, int(chipkill.n_failed * 0.15))
+        assert abs(safeguard.n_failed - chipkill.n_failed) <= tolerance
+        assert safeguard.n_sdc == 0
+    assert results[10.0][0].n_failed > results[1.0][0].n_failed

@@ -1,0 +1,25 @@
+"""Figure 11: performance of SafeGuard vs. conventional Chipkill.
+
+The SafeGuard data path is identical in both organizations during
+fault-free operation — one MAC check on the read critical path — so the
+paper reports the same 0.7% for Figure 11 as for Figure 7. This bench
+regenerates the series on the memory-heavy workload subset where any
+divergence would show.
+"""
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_WARMUP, once
+
+from repro.experiments import perf_figures
+from repro.perf.model import PerfConfig
+
+WORKLOADS = ["mcf", "omnetpp", "xalancbmk", "xz", "bwaves", "lbm", "fotonik3d", "roms"]
+
+
+def test_fig11_safeguard_vs_chipkill(benchmark):
+    config = PerfConfig(
+        instructions_per_core=BENCH_INSTRUCTIONS, warmup_instructions=BENCH_WARMUP
+    )
+    figure = once(benchmark, perf_figures.run_fig7, workloads=WORKLOADS, config=config)
+    perf_figures.report_per_workload(figure, "Figure 11: SafeGuard vs. Chipkill")
+    gmean = figure.gmean_slowdowns()[figure.organizations[0]]
+    assert -0.5 < gmean < 4.0

@@ -1,0 +1,27 @@
+"""Figure 12: SafeGuard vs. SGX-style vs. Synergy-style MAC organizations."""
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_WARMUP, once
+
+from repro.experiments import perf_figures
+from repro.perf.model import PerfConfig
+
+WORKLOADS = [
+    "perlbench", "gcc", "mcf", "omnetpp", "xz",
+    "bwaves", "lbm", "wrf", "fotonik3d", "leela",
+]
+
+
+def test_fig12_mac_organizations(benchmark):
+    config = PerfConfig(
+        instructions_per_core=BENCH_INSTRUCTIONS, warmup_instructions=BENCH_WARMUP
+    )
+    figure = once(benchmark, perf_figures.run_fig12, workloads=WORKLOADS, config=config)
+    perf_figures.report_per_workload(
+        figure, "Figure 12: per-line MAC organizations"
+    )
+    safeguard, sgx, synergy = figure.organizations
+    slow = figure.gmean_slowdowns()
+    # Paper: 0.7% / 18.7% / 7.8% — the ordering and rough factors.
+    assert slow[safeguard] < slow[synergy] < slow[sgx]
+    assert slow[sgx] > 8.0
+    assert slow[safeguard] < 3.0

@@ -1,0 +1,32 @@
+"""Figure 13: performance sensitivity to MAC latency (8 -> 80 cycles)."""
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_WARMUP, once
+
+from repro.experiments import perf_figures
+from repro.perf.model import PerfConfig
+
+WORKLOADS = ["mcf", "omnetpp", "lbm", "leela"]
+LATENCIES = (8, 40, 80)
+
+
+def test_fig13_mac_latency_sweep(benchmark):
+    config = PerfConfig(
+        instructions_per_core=BENCH_INSTRUCTIONS // 2,
+        warmup_instructions=BENCH_WARMUP // 2,
+    )
+    sweep = once(
+        benchmark,
+        perf_figures.run_fig13,
+        latencies=LATENCIES,
+        workloads=WORKLOADS,
+        config=config,
+    )
+    perf_figures.report_fig13(sweep)
+    # SafeGuard's slowdown grows with MAC latency but stays far below the
+    # SGX organization's at every point (paper: 5.8% vs 25%+ at 80 cycles).
+    for latency, figure in sweep.items():
+        slow = figure.gmean_slowdowns()
+        names = figure.organizations
+        assert slow[names[0]] < slow[names[1]]
+    sg = [sweep[l].gmean_slowdowns()[sweep[l].organizations[0]] for l in LATENCIES]
+    assert sg[-1] > sg[0]

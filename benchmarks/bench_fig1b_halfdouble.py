@@ -1,0 +1,18 @@
+"""Figure 1b: breakthrough attack patterns vs. precise mitigations."""
+
+from conftest import once
+
+from repro.experiments import fig1b_attacks
+
+
+def test_fig1b_attack_matrix(benchmark):
+    cells = once(benchmark, fig1b_attacks.run, rh_threshold=1200, budget=340_000)
+    fig1b_attacks.report(cells)
+    by = {(c.mitigation, c.attack): c for c in cells}
+    # The paper's three case studies:
+    assert by[("trr", "many-sided(trrespass)")].broke_through  # Case 2
+    assert by[("graphene", "half-double")].broke_through  # Case 1
+    assert by[("para-stale", "double-sided")].broke_through  # threshold drift
+    # And the sanity side: correctly sized mitigations stop classic attacks.
+    assert not by[("para", "double-sided")].broke_through
+    assert not by[("graphene", "many-sided(trrespass)")].broke_through

@@ -1,0 +1,14 @@
+"""Figure 1c: silent corruption (conventional ECC) vs. DUE (SafeGuard)."""
+
+from conftest import once
+
+from repro.experiments import fig1c_detection
+
+
+def test_fig1c_consumption(benchmark):
+    outcomes = once(benchmark, fig1c_detection.run, rh_threshold=1200, budget=340_000)
+    fig1c_detection.report(outcomes)
+    by = {o.organization: o for o in outcomes}
+    assert not by["SafeGuard (SECDED)"].security_risk
+    assert not by["SafeGuard (Chipkill)"].security_risk
+    assert by["SafeGuard (SECDED)"].detected_ue > 0

@@ -1,0 +1,19 @@
+"""Figure 6: SECDED vs. SafeGuard reliability over 7 years."""
+
+from conftest import BENCH_MODULES, once
+
+from repro.experiments import fig6_reliability_secded
+
+
+def test_fig6_reliability(benchmark):
+    results = once(benchmark, fig6_reliability_secded.run, n_modules=BENCH_MODULES)
+    fig6_reliability_secded.report(results)
+    secded, no_parity, with_parity = results
+    # Paper: ~1.25x without column parity; virtually identical with it.
+    assert no_parity.n_failed > secded.n_failed
+    ratio = no_parity.n_failed / max(1, secded.n_failed)
+    assert 1.05 < ratio < 1.6
+    parity_ratio = with_parity.n_failed / max(1, secded.n_failed)
+    assert parity_ratio < 1.15
+    # Security: SafeGuard never fails silently.
+    assert no_parity.n_sdc == 0 and with_parity.n_sdc == 0

@@ -1,0 +1,20 @@
+"""Figure 7: performance of SafeGuard vs. conventional SECDED."""
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_WARMUP, once
+
+from repro.experiments import perf_figures
+from repro.perf.model import PerfConfig
+
+
+def test_fig7_safeguard_vs_secded(benchmark):
+    config = PerfConfig(
+        instructions_per_core=BENCH_INSTRUCTIONS, warmup_instructions=BENCH_WARMUP
+    )
+    figure = once(benchmark, perf_figures.run_fig7, config=config)
+    perf_figures.report_per_workload(figure, "Figure 7: SafeGuard vs. SECDED")
+    org = figure.organizations[0]
+    gmean = figure.gmean_slowdowns()[org]
+    # Paper: 0.7% average; allow simulator noise either side.
+    assert -0.5 < gmean < 3.0
+    worst = max(r.slowdown_percent(org) for r in figure.results)
+    assert worst < 8.0  # paper's worst case (omnetpp) is 3.6%

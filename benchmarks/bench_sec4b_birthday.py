@@ -1,0 +1,14 @@
+"""Section IV-B: birthday-bound analysis + Monte-Carlo cross-check."""
+
+from conftest import once
+
+from repro.experiments import sec4b_birthday
+
+
+def test_sec4b_birthday(benchmark):
+    analysis, check = once(benchmark, sec4b_birthday.run)
+    sec4b_birthday.report((analysis, check))
+    assert analysis.faults_for_collision == (1 << 15)  # sqrt(2^30)
+    assert analysis.p_secded_superior < 1e-4  # paper: 3.51e-5 scale
+    assert analysis.years_to_two_faults > 1000
+    assert 1.0 < check.ratio < 1.6  # sqrt(pi/2) ~ 1.25 expected

@@ -1,0 +1,15 @@
+"""Section IV-C: iterative column recovery latency progression."""
+
+from conftest import once
+
+from repro.experiments import sec4c_column_recovery
+
+
+def test_sec4c_column_recovery(benchmark):
+    points = once(benchmark, sec4c_column_recovery.run)
+    sec4c_column_recovery.report(points)
+    first, last = points[0], points[-1]
+    assert first.mac_checks <= 66  # at most 64 candidates + 2 initial checks
+    assert first.iterations <= 64
+    assert last.mac_checks == 1  # eager steady state: one MAC check
+    assert last.iterations == 1

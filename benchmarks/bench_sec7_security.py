@@ -1,0 +1,25 @@
+"""Section VII: the security-discussion experiments."""
+
+from conftest import once
+
+from repro.core.types import ReadStatus
+from repro.experiments import sec7_security
+from repro.security.dos import RegionVerdict
+
+
+def test_sec7_security_discussion(benchmark):
+    report = once(benchmark, sec7_security.run)
+    sec7_security.report(report)
+    # VII-B: DoS attribution separates attackers from background noise.
+    assert report.dos_attacker_verdict is RegionVerdict.MALICIOUS
+    assert report.dos_background_verdict is RegionVerdict.HEALTHY
+    # VII-C: replay accepted at same address only.
+    assert report.replay_same_address
+    assert report.replay_relocation_detected and report.replay_splice_detected
+    assert report.replay_log10_windows > 30
+    # VII-D: ECCploit silently corrupts SECDED; SafeGuard converts to DUE.
+    assert report.eccploit_secded_silent
+    assert report.eccploit_safeguard_status is ReadStatus.DETECTED_UE
+    # VII-D: RAMBleed leaks from plain memory, not from TME-encrypted.
+    assert report.rambleed_plain_accuracy > 0.8
+    assert abs(report.rambleed_tme_accuracy - 0.5) < 0.15

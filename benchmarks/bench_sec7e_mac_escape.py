@@ -1,0 +1,23 @@
+"""Sections V-C / VII-E: MAC escape times + empirical 2^-n scaling."""
+
+from conftest import once
+
+from repro.core.analysis import chip_failure_escape_time
+from repro.experiments import sec7e_mac_escape
+
+
+def test_sec7e_mac_escape(benchmark):
+    analytic = sec7e_mac_escape.analytic()
+    empirical = once(benchmark, sec7e_mac_escape.empirical, widths=(8, 10, 12))
+    sec7e_mac_escape.report(analytic, empirical)
+    scenarios = dict((label, a) for label, a in analytic)
+    assert scenarios["SECDED MAC-46, 1 check/fault"].expected_years_to_escape > 1000
+    months_iterative = (
+        scenarios["Chipkill MAC-32, iterative (18 checks/fault)"].expected_years_to_escape * 12
+    )
+    assert 3 < months_iterative < 12  # "within 6 months"
+    eager_years = scenarios["Chipkill MAC-32, eager (1 check/fault)"].expected_years_to_escape
+    assert 7 < eager_years < 11  # "about 9 years"
+    assert chip_failure_escape_time() < 60
+    for e in empirical:
+        assert 0.2 * e.expected_rate < max(e.measured_rate, 1e-9) < 5 * e.expected_rate + 1e-9

@@ -1,0 +1,12 @@
+"""Table I / Figure 1a: RH-Threshold over time."""
+
+from conftest import once
+
+from repro.experiments import table1_thresholds
+
+
+def test_table1_thresholds(benchmark):
+    entries = once(benchmark, table1_thresholds.run)
+    table1_thresholds.report(entries)
+    assert entries[0].threshold == 139_000
+    assert entries[-1].threshold == 4_800

@@ -1,0 +1,18 @@
+"""Table IV: per-fault-mode detect/correct matrix (measured)."""
+
+from conftest import once
+
+from repro.experiments import table4_resiliency
+
+
+def test_table4_matrix(benchmark):
+    scores = once(benchmark, table4_resiliency.run, trials=60, seed=11)
+    table4_resiliency.report(scores)
+    by = {(s.mode, s.scheme): s for s in scores}
+    assert by[("bit", "SECDED")].correct_mark == "yes"
+    assert by[("bit", "SafeGuard")].correct_mark == "yes"
+    assert by[("column", "SECDED")].correct_mark == "yes"
+    assert by[("column", "SafeGuard (no parity)")].correct_mark == "no"
+    for (mode, scheme), score in by.items():
+        if scheme.startswith("SafeGuard"):
+            assert score.silent == 0, (mode, scheme)

@@ -1,0 +1,12 @@
+"""Table V: DRAM storage overhead comparison."""
+
+from conftest import once
+
+from repro.experiments import table5_storage
+
+
+def test_table5_storage(benchmark):
+    rows = once(benchmark, table5_storage.run)
+    table5_storage.report(rows)
+    assert [r.sgx_synergy_loss_gb for r in rows] == [2.0, 8.0, 32.0]
+    assert all(r.safeguard_usable_gb == r.baseline_gb for r in rows)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Performance study: what does integrity protection cost?
+
+Runs the trace-driven system simulator (4 cores, Table II configuration,
+synthetic SPEC-2017-like workloads) for the four memory organizations the
+paper compares:
+
+- conventional ECC        : the baseline;
+- SafeGuard               : +1 MAC check on the read critical path;
+- SGX-style MAC           : +1 memory access per read AND per writeback;
+- Synergy-style MAC       : +1 memory access per writeback.
+
+Reports normalized performance per workload and the geometric mean — the
+format of Figures 7/11/12 — plus the Figure 13 MAC-latency sweep.
+
+Run:  python examples/performance_study.py [instructions_per_core]
+"""
+
+import sys
+
+from repro.experiments import perf_figures
+from repro.perf.model import PerfConfig
+
+WORKLOADS = ["perlbench", "gcc", "mcf", "omnetpp", "leela", "bwaves", "lbm", "roms"]
+
+
+def main():
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 150_000
+    config = PerfConfig(
+        instructions_per_core=instructions, warmup_instructions=instructions // 3
+    )
+
+    print(f"Simulating {len(WORKLOADS)} workloads x 4 organizations "
+          f"({instructions:,} instructions/core)...")
+    figure = perf_figures.run_fig12(workloads=WORKLOADS, config=config)
+    perf_figures.report_per_workload(
+        figure, "Normalized performance (Figures 7/12 format)"
+    )
+
+    print("\nMAC-latency sensitivity (Figure 13 format)...")
+    sweep = perf_figures.run_fig13(
+        latencies=(8, 40, 80), workloads=["mcf", "omnetpp", "leela"], config=config
+    )
+    perf_figures.report_fig13(sweep)
+
+
+if __name__ == "__main__":
+    main()

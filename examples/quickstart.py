@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: SafeGuard's public API in two minutes.
+
+Creates SafeGuard controllers for both DIMM organizations, writes lines,
+injects the paper's fault patterns into the *stored* bits, and shows what
+the read path reports: corrected, recovered, or a Detected Unrecoverable
+Error (DUE) — never silent corruption.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+
+from repro import SafeGuardChipkill, SafeGuardConfig, SafeGuardSECDED
+
+
+def banner(title):
+    print(f"\n=== {title} " + "=" * max(1, 60 - len(title)))
+
+
+def show(label, result):
+    print(f"  {label:46s} -> {result.status.value:18s}"
+          f" (MAC checks: {result.costs.mac_checks},"
+          f" +{result.costs.latency_cycles} cycles)")
+
+
+def main():
+    config = SafeGuardConfig(key=os.urandom(16))
+    data = b"page-table-entry".ljust(64, b"\x00")
+
+    banner("SafeGuard on an x8 SECDED DIMM (Section IV)")
+    mc = SafeGuardSECDED(config)
+    mc.write(0x1000, data)
+    show("clean read", mc.read(0x1000))
+
+    mc.inject_data_bits(0x1000, 1 << 129)  # a cosmic-ray single bit
+    show("single-bit fault (ECC-1 corrects)", mc.read(0x1000))
+
+    mc.write(0x1000, data)
+    mc.inject_pin_failure(0x1000, pin=21, symbol_error=0b11011010)
+    show("pin/column failure (parity + MAC recover)", mc.read(0x1000))
+
+    mc.write(0x1000, data)
+    mc.inject_data_bits(0x1000, (1 << 3) | (1 << 77) | (1 << 300))
+    result = mc.read(0x1000)
+    show("Row-Hammer-style multi-bit flips", result)
+    assert result.due, "SafeGuard must flag arbitrary corruption"
+    print("  -> the OS is informed (restart / relocate / reboot), data is")
+    print("     never silently consumed: a reliability event, not a breach.")
+
+    banner("SafeGuard on an x4 Chipkill DIMM (Section V)")
+    ck = SafeGuardChipkill(config)
+    ck.write(0x2000, data)
+    show("clean read", ck.read(0x2000))
+
+    ck.inject_chip_failure(0x2000, chip=5, error_mask32=0xDEADBEEF)
+    show("whole-chip failure (parity + MAC recover)", ck.read(0x2000))
+
+    ck.write(0x2040, data)
+    ck.inject_chip_failure(0x2040, chip=5, error_mask32=0x12345678)
+    show("next read: eager correction (1 MAC check)", ck.read(0x2040))
+
+    ck.write(0x2080, data)
+    ck.inject_chip_failure(0x2080, chip=2, error_mask32=0xF0F0F0F0)
+    ck.inject_chip_failure(0x2080, chip=9, error_mask32=0x0F0F0F0F)
+    show("two chips corrupted (beyond Chipkill)", ck.read(0x2080))
+
+    print("\nController statistics (SECDED organization):")
+    stats = mc.stats
+    print(f"  reads={stats.reads} corrected_bit={stats.corrected_bit}"
+          f" corrected_column={stats.corrected_column} DUEs={stats.dues}"
+          f" silent_corruptions={stats.silent_corruptions}")
+    assert stats.silent_corruptions == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Row-Hammer attacks vs. mitigations vs. SafeGuard (Figures 1b and 1c).
+
+Part 1 runs the attack/mitigation matrix: classic double-sided hammering,
+TRRespass many-sided tracker flushing, and Google's Half-Double — against
+no mitigation, PARA, in-DRAM TRR, and Graphene-style counting.
+
+Part 2 takes a breakthrough attack's bit-flips and consumes the victim
+data through four memory organizations, showing the paper's thesis:
+conventional ECC silently serves corrupted data (privilege-escalation
+material); SafeGuard raises DUEs instead.
+
+Run:  python examples/rowhammer_defense.py
+"""
+
+from repro.experiments import fig1b_attacks, fig1c_detection
+
+
+def main():
+    print("Part 1: which attacks break which mitigations?")
+    print("(scaled threshold/budget for speed; same dynamics as full scale)")
+    cells = fig1b_attacks.run(rh_threshold=1200, budget=340_000)
+    fig1b_attacks.report(cells)
+
+    print("\nPart 2: what does software consume after a breakthrough?")
+    outcomes = fig1c_detection.run(rh_threshold=1200, budget=340_000)
+    fig1c_detection.report(outcomes)
+
+    by = {o.organization: o for o in outcomes}
+    assert not by["SafeGuard (SECDED)"].security_risk
+    assert not by["SafeGuard (Chipkill)"].security_risk
+    print("\nSafeGuard: the attack still flips bits, but every corrupted")
+    print("read is a detected error — privilege escalation requires the")
+    print("victim to *consume* attacker-controlled data, and it never does.")
+
+
+if __name__ == "__main__":
+    main()

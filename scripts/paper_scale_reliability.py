@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Paper-scale reliability runs: 10M modules, as in Section III-B.
+
+Reproduces Figures 6 and 10 at the paper's own Monte-Carlo scale
+(the interactive benches default to 60-200K modules). Takes a few
+minutes; prints probability-of-failure curves with 95% Wilson intervals.
+"""
+
+import time
+
+from repro.experiments.reporting import format_table, print_banner
+from repro.faultsim.evaluators import (
+    ChipkillEvaluator,
+    SafeGuardChipkillEvaluator,
+    SafeGuardSECDEDEvaluator,
+    SECDEDEvaluator,
+)
+from repro.faultsim.geometry import X4_CHIPKILL_16GB, X8_SECDED_16GB
+from repro.faultsim.montecarlo import MonteCarloConfig, simulate
+
+SECDED_MODULES = 10_000_000
+CHIPKILL_MODULES = 2_000_000
+
+
+def run_figure6():
+    print_banner(f"Figure 6 at paper scale ({SECDED_MODULES:,} modules)")
+    config = MonteCarloConfig(n_modules=SECDED_MODULES, seed=42)
+    geometry = X8_SECDED_16GB
+    rows = []
+    baseline = None
+    for evaluator in (
+        SECDEDEvaluator(geometry),
+        SafeGuardSECDEDEvaluator(geometry, column_parity=False),
+        SafeGuardSECDEDEvaluator(geometry, column_parity=True),
+    ):
+        t0 = time.time()
+        result = simulate(evaluator, geometry, config)
+        low, high = result.confidence_interval()
+        if baseline is None:
+            baseline = result
+        rows.append(
+            (
+                result.scheme,
+                f"{result.final_fail_probability:.4%}",
+                f"[{low:.4%}, {high:.4%}]",
+                f"{result.n_failed / max(1, baseline.n_failed):.3f}x",
+                f"{result.n_due}/{result.n_sdc}",
+                f"{time.time() - t0:.0f}s",
+            )
+        )
+    print(format_table(
+        ["Scheme", "P(fail, 7y)", "95% CI", "vs SECDED", "DUE/SDC", "runtime"], rows
+    ))
+
+
+def run_figure10():
+    print_banner(f"Figure 10 at paper scale ({CHIPKILL_MODULES:,} modules)")
+    geometry = X4_CHIPKILL_16GB
+    rows = []
+    for multiplier in (1.0, 10.0):
+        config = MonteCarloConfig(
+            n_modules=CHIPKILL_MODULES, seed=42, fit_multiplier=multiplier
+        )
+        for evaluator in (
+            ChipkillEvaluator(geometry),
+            SafeGuardChipkillEvaluator(geometry),
+        ):
+            t0 = time.time()
+            result = simulate(evaluator, geometry, config)
+            low, high = result.confidence_interval()
+            rows.append(
+                (
+                    f"{multiplier:g}x",
+                    result.scheme,
+                    f"{result.final_fail_probability:.4%}",
+                    f"[{low:.4%}, {high:.4%}]",
+                    f"{result.n_due}/{result.n_sdc}",
+                    f"{time.time() - t0:.0f}s",
+                )
+            )
+    print(format_table(
+        ["FIT", "Scheme", "P(fail, 7y)", "95% CI", "DUE/SDC", "runtime"], rows
+    ))
+
+
+if __name__ == "__main__":
+    run_figure6()
+    run_figure10()

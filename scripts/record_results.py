@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Full-scale record run: regenerates every table/figure for EXPERIMENTS.md.
+
+Heavier than the benchmark defaults; takes ~10 minutes. Output is the
+paper-vs-measured record pasted into EXPERIMENTS.md.
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    fig1b_attacks,
+    fig1c_detection,
+    fig6_reliability_secded,
+    fig10_reliability_chipkill,
+    perf_figures,
+    sec4b_birthday,
+    sec4c_column_recovery,
+    sec7_security,
+    sec7e_mac_escape,
+    table1_thresholds,
+    table2_table3_config,
+    table4_resiliency,
+    table5_storage,
+)
+from repro.perf.model import PerfConfig
+
+
+def stamp(label, start):
+    print(f"\n[{label}: {time.time() - start:.1f}s]")
+    sys.stdout.flush()
+
+
+def main():
+    t0 = time.time()
+    table1_thresholds.report()
+    table2_table3_config.report_table2()
+    table2_table3_config.report_table3()
+    table5_storage.report()
+    sec4b_birthday.report()
+    sec4c_column_recovery.report()
+    sec7e_mac_escape.report(
+        sec7e_mac_escape.analytic(),
+        sec7e_mac_escape.empirical(widths=(8, 10, 12, 14), trials=120_000),
+    )
+    sec7_security.report()
+    stamp("analytic sections", t0)
+
+    table4_resiliency.report(table4_resiliency.run(trials=200, seed=11))
+    stamp("table IV", t0)
+
+    fig6_reliability_secded.report(fig6_reliability_secded.run(n_modules=400_000))
+    stamp("figure 6", t0)
+
+    fig10_reliability_chipkill.report(
+        fig10_reliability_chipkill.run(n_modules=200_000)
+    )
+    stamp("figure 10", t0)
+
+    fig1b_attacks.report(fig1b_attacks.run(rh_threshold=4800, budget=1_360_000))
+    stamp("figure 1b", t0)
+
+    fig1c_detection.report(fig1c_detection.run(rh_threshold=4800, budget=1_360_000))
+    stamp("figure 1c", t0)
+
+    config = PerfConfig(instructions_per_core=300_000, warmup_instructions=60_000)
+    fig12 = perf_figures.run_fig12(config=config)
+    perf_figures.report_per_workload(
+        fig12, "Figures 7/11/12: normalized performance (all organizations)"
+    )
+    stamp("figures 7/11/12", t0)
+
+    sweep = perf_figures.run_fig13(
+        latencies=(8, 24, 40, 56, 80),
+        workloads=["mcf", "omnetpp", "xz", "lbm", "bwaves", "leela"],
+        config=config,
+    )
+    perf_figures.report_fig13(sweep)
+    stamp("figure 13 (done)", t0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""SafeGuard (HPCA 2022) reproduction.
+
+This package is a from-scratch Python implementation of *SafeGuard:
+Reducing the Security Risk from Row-Hammer via Low-Cost Integrity
+Protection* (Fakhrzadehgan, Patt, Nair, Qureshi — HPCA 2022), together
+with every substrate the paper's evaluation depends on:
+
+- ``repro.ecc`` — Hamming/SECDED, Reed-Solomon/Chipkill, column parity, CRC.
+- ``repro.mac`` — SPECK-64/128 block cipher and the per-line MAC construction.
+- ``repro.core`` — the SafeGuard memory-controller designs (SECDED and
+  Chipkill organizations) and the baseline organizations they are compared
+  against (conventional ECC, SGX-style MAC, Synergy-style MAC).
+- ``repro.dram`` / ``repro.cache`` / ``repro.cpu`` / ``repro.perf`` — the
+  performance-evaluation substrate (trace-driven system simulator).
+- ``repro.faultsim`` — a FaultSim-style Monte-Carlo reliability simulator.
+- ``repro.rowhammer`` — Row-Hammer disturbance model, attack patterns, and
+  mitigations.
+- ``repro.experiments`` — one module per paper table/figure.
+
+Quick start::
+
+    from repro import SafeGuardSECDED, SafeGuardConfig
+
+    ctrl = SafeGuardSECDED(SafeGuardConfig(key=b"0123456789abcdef"))
+    ctrl.write(0x1000, b"A" * 64)
+    data = ctrl.read(0x1000).data
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.core.config import SafeGuardConfig
+from repro.core.secded import SafeGuardSECDED
+from repro.core.chipkill import SafeGuardChipkill
+from repro.core.baselines import (
+    ConventionalSECDED,
+    ConventionalChipkill,
+    SGXStyleMAC,
+    SynergyStyleMAC,
+)
+from repro.core.types import ReadResult, ReadStatus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SafeGuardConfig",
+    "SafeGuardSECDED",
+    "SafeGuardChipkill",
+    "ConventionalSECDED",
+    "ConventionalChipkill",
+    "SGXStyleMAC",
+    "SynergyStyleMAC",
+    "ReadResult",
+    "ReadStatus",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""CLI: regenerate paper tables/figures.
+
+Usage::
+
+    python -m repro list            # available experiments
+    python -m repro fig6            # one experiment
+    python -m repro all             # everything (interactive scale)
+"""
+
+import sys
+
+from repro.experiments.runner import experiment_names, run_all, run_experiment
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        print("Experiments:", ", ".join(experiment_names()))
+        return 0
+    name = argv[0]
+    if name == "list":
+        for experiment in experiment_names():
+            print(experiment)
+        return 0
+    if name == "all":
+        run_all()
+        return 0
+    try:
+        run_experiment(name)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

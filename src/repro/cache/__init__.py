@@ -1,0 +1,17 @@
+"""Cache hierarchy substrate (Table II configuration).
+
+Private 32KB 4-way L1 data caches, a shared 4MB 16-way inclusive
+write-back LLC, and a per-core stream prefetcher.
+"""
+
+from repro.cache.cache import Cache, CacheStats
+from repro.cache.prefetcher import StreamPrefetcher
+from repro.cache.hierarchy import CacheHierarchy, AccessOutcome
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "StreamPrefetcher",
+    "CacheHierarchy",
+    "AccessOutcome",
+]

@@ -1,0 +1,84 @@
+"""Set-associative cache with LRU replacement and write-back policy."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A write-back, write-allocate set-associative cache.
+
+    Operates on line addresses (byte address // line size is done by the
+    caller or via :meth:`line_of`). Each set is an ordered dict mapping
+    tag -> dirty flag, with LRU order maintained by re-insertion.
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64, name: str = ""):
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("size must be a multiple of ways * line size")
+        self.name = name or f"cache-{size_bytes // 1024}KB"
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = size_bytes // (ways * line_bytes)
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def line_of(self, address: int) -> int:
+        return address // self.line_bytes
+
+    def _set_index(self, line: int) -> int:
+        return line % self.n_sets
+
+    # -- operations --------------------------------------------------------------
+
+    def lookup(self, line: int, is_write: bool = False) -> bool:
+        """Probe for a line; updates LRU and dirty state on hit."""
+        entry = self._sets[self._set_index(line)]
+        if line in entry:
+            entry.move_to_end(line)
+            if is_write:
+                entry[line] = True
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, line: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Install a line; returns the evicted ``(line, dirty)`` if any."""
+        entry = self._sets[self._set_index(line)]
+        victim = None
+        if line not in entry and len(entry) >= self.ways:
+            victim_line, victim_dirty = entry.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+            victim = (victim_line, victim_dirty)
+        entry[line] = entry.get(line, False) or dirty
+        entry.move_to_end(line)
+        return victim
+
+    def invalidate(self, line: int) -> Optional[bool]:
+        """Drop a line (inclusion back-invalidate); returns its dirty flag."""
+        entry = self._sets[self._set_index(line)]
+        return entry.pop(line, None)
+
+    def contains(self, line: int) -> bool:
+        return line in self._sets[self._set_index(line)]

@@ -1,0 +1,57 @@
+"""Stream prefetcher (Table II: "Stream prefetcher").
+
+Per-core detector of ascending line-address streams within a physical
+page. After two consecutive +1-line accesses a stream is trained and the
+prefetcher runs ``degree`` lines ahead of the demand stream.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class _Stream:
+    last_line: int
+    confidence: int
+    next_prefetch: int
+
+
+class StreamPrefetcher:
+    """Simple ascending stream detector with a small stream table."""
+
+    def __init__(self, n_streams: int = 16, degree: int = 2, distance: int = 4):
+        self.n_streams = n_streams
+        self.degree = degree
+        self.distance = distance
+        self._streams: "OrderedDict[int, _Stream]" = OrderedDict()
+        self.issued = 0
+
+    def observe(self, line: int, page_lines: int = 64) -> List[int]:
+        """Feed a demand line address; returns line addresses to prefetch."""
+        page = line // page_lines
+        stream = self._streams.get(page)
+        prefetches: List[int] = []
+        if stream is None:
+            if len(self._streams) >= self.n_streams:
+                self._streams.popitem(last=False)
+            self._streams[page] = _Stream(line, 0, line + self.distance)
+            return prefetches
+        self._streams.move_to_end(page)
+        if line == stream.last_line + 1:
+            stream.confidence = min(stream.confidence + 1, 4)
+        elif line != stream.last_line:
+            stream.confidence = max(stream.confidence - 1, 0)
+        stream.last_line = line
+        if stream.confidence >= 2:
+            target = max(stream.next_prefetch, line + 1)
+            for i in range(self.degree):
+                candidate = target + i
+                # Stay within the page (prefetchers do not cross pages).
+                if candidate // page_lines == page:
+                    prefetches.append(candidate)
+            stream.next_prefetch = target + self.degree
+        self.issued += len(prefetches)
+        return prefetches

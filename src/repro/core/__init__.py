@@ -1,0 +1,46 @@
+"""SafeGuard memory-controller designs and baseline organizations.
+
+- :mod:`repro.core.secded` — SafeGuard on x8 SECDED DIMMs (Section IV):
+  line-granularity ECC-1 + 54-bit MAC, or ECC-1 + 8-bit column parity +
+  46-bit MAC (the default, Figure 5).
+- :mod:`repro.core.chipkill` — SafeGuard on x4 Chipkill DIMMs (Section V):
+  32-bit MAC chip + 32-bit chip-wise-parity chip, iterative and eager
+  correction, spare-line buffer.
+- :mod:`repro.core.baselines` — conventional SECDED, conventional
+  Chipkill, SGX-style MAC and Synergy-style MAC organizations
+  (Section VI).
+- :mod:`repro.core.analysis` — the paper's analytic results: birthday
+  bound (Section IV-B), MAC-escape times (Sections V-C, VII-E), storage
+  overheads (Table V).
+"""
+
+from repro.core.config import SafeGuardConfig
+from repro.core.types import ReadResult, ReadStatus, AccessCosts
+from repro.core.backend import MemoryBackend, StoredLine
+from repro.core.secded import SafeGuardSECDED
+from repro.core.chipkill import SafeGuardChipkill
+from repro.core.baselines import (
+    ConventionalSECDED,
+    ConventionalChipkill,
+    SGXStyleMAC,
+    SynergyStyleMAC,
+)
+from repro.core.spare import SpareLineBuffer
+from repro.core.encrypted import EncryptedController
+
+__all__ = [
+    "SafeGuardConfig",
+    "ReadResult",
+    "ReadStatus",
+    "AccessCosts",
+    "MemoryBackend",
+    "StoredLine",
+    "SafeGuardSECDED",
+    "SafeGuardChipkill",
+    "ConventionalSECDED",
+    "ConventionalChipkill",
+    "SGXStyleMAC",
+    "SynergyStyleMAC",
+    "SpareLineBuffer",
+    "EncryptedController",
+]

@@ -1,0 +1,99 @@
+"""Backing-store abstraction for controller data paths.
+
+The controllers in :mod:`repro.core` are *functional* models of the memory
+controller's ECC/MAC pipeline: they store, per line address, exactly the
+bits a real DIMM would hold (the 512-bit data burst plus the 64-bit
+metadata burst from the ECC chip(s)), and fault injection flips those
+stored bits — after which the read path must detect/correct/flag exactly
+as the hardware would.
+
+The backend also retains a *golden* copy of every written line so tests
+and experiments can classify outcomes (corrected vs. silent corruption)
+against ground truth. Golden data is instrumentation only: no controller
+logic reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.utils.bits import LINE_BYTES
+
+
+@dataclass
+class StoredLine:
+    """The raw bits held in DRAM for one cache line."""
+
+    data: int  #: 512-bit data burst
+    meta: int  #: 64-bit metadata burst (ECC chip contents)
+
+
+class MemoryBackend:
+    """Sparse line-addressed store with bit-level fault injection."""
+
+    def __init__(self, line_bytes: int = LINE_BYTES):
+        self.line_bytes = line_bytes
+        self._store: Dict[int, StoredLine] = {}
+        self._golden: Dict[int, bytes] = {}
+
+    def _check_aligned(self, address: int) -> None:
+        if address % self.line_bytes:
+            raise ValueError(
+                f"address {address:#x} is not {self.line_bytes}-byte aligned"
+            )
+
+    # -- normal access ----------------------------------------------------------
+
+    def store(self, address: int, data: int, meta: int, golden: bytes) -> None:
+        self._check_aligned(address)
+        self._store[address] = StoredLine(data, meta)
+        self._golden[address] = golden
+
+    def load(self, address: int) -> StoredLine:
+        self._check_aligned(address)
+        try:
+            return self._store[address]
+        except KeyError:
+            raise KeyError(f"address {address:#x} was never written") from None
+
+    def contains(self, address: int) -> bool:
+        return address in self._store
+
+    def addresses(self) -> Iterator[int]:
+        return iter(self._store)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- fault injection ----------------------------------------------------------
+
+    def inject_data_bits(self, address: int, mask: int) -> None:
+        """XOR ``mask`` into the stored 512-bit data of a line."""
+        entry = self.load(address)
+        entry.data ^= mask
+
+    def inject_meta_bits(self, address: int, mask: int) -> None:
+        """XOR ``mask`` into the stored 64-bit metadata of a line."""
+        entry = self.load(address)
+        entry.meta ^= mask & ((1 << 64) - 1)
+
+    def inject_bit(self, address: int, bit: int) -> None:
+        """Flip one bit of the 576-bit stored burst (bits 512+ hit metadata)."""
+        if bit < self.line_bytes * 8:
+            self.inject_data_bits(address, 1 << bit)
+        else:
+            self.inject_meta_bits(address, 1 << (bit - self.line_bytes * 8))
+
+    # -- golden-copy instrumentation ------------------------------------------------
+
+    def golden(self, address: int) -> Optional[bytes]:
+        """The last data written to ``address`` (ground truth), if any."""
+        return self._golden.get(address)
+
+    def is_silent_corruption(self, address: int, returned: bytes, due: bool) -> bool:
+        """True iff a non-DUE read returned data differing from golden."""
+        if due:
+            return False
+        golden = self._golden.get(address)
+        return golden is not None and golden != returned

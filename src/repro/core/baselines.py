@@ -1,0 +1,287 @@
+"""Baseline memory organizations the paper compares against.
+
+- :class:`ConventionalSECDED` — the stock ECC-DIMM data path: eight
+  independent (72,64) SECDED codewords per line (Figure 3a). Corrects one
+  bit per word and detects two; wider per-word corruption miscorrects or
+  escapes silently — the Row-Hammer exposure SafeGuard closes.
+- :class:`ConventionalChipkill` — the stock x4 symbol-code data path
+  (Figure 8a): guaranteed single-chip correction; multi-chip corruption
+  may raise a decoder failure, miscorrect, or escape.
+- :class:`SGXStyleMAC` — Section VI-A.1: per-line MAC stored in a
+  *separate* region of memory. Every read and write performs an extra
+  memory access for the MAC; 12.5% of capacity is lost.
+- :class:`SynergyStyleMAC` — Section VI-A.2: the 64-bit MAC rides in the
+  ECC chip (no read overhead); correction parity lives in a separate
+  region, so every write performs an extra access to update it; 12.5% of
+  capacity is lost.
+
+All controllers share the :class:`~repro.core.backend.MemoryBackend`
+fault-injection surface so experiments can subject every organization to
+identical fault patterns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.backend import MemoryBackend
+from repro.core.config import SafeGuardConfig
+from repro.core.types import AccessCosts, ControllerStats, ReadResult, ReadStatus
+from repro.ecc.chipkill import ChipkillCode, ChipkillStatus
+from repro.ecc.hamming import DecodeStatus
+from repro.ecc.secded import WordSECDEDLine
+from repro.mac.linemac import LineMAC
+from repro.utils.bits import bytes_to_int, extract_chip_bits, insert_chip_bits, int_to_bytes
+
+
+class ConventionalSECDED:
+    """Word-granularity SECDED ECC DIMM (the paper's SECDED baseline)."""
+
+    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+        self.config = config or SafeGuardConfig()
+        self.backend = backend or MemoryBackend()
+        self._code = WordSECDEDLine()
+        self.stats = ControllerStats()
+
+    def write(self, address: int, data: bytes) -> None:
+        if len(data) != 64:
+            raise ValueError("line must be 64 bytes")
+        line = bytes_to_int(data)
+        _, ecc = self._code.encode(line)
+        self.backend.store(address, line, ecc, data)
+        self.stats.writes += 1
+
+    def read(self, address: int) -> ReadResult:
+        stored = self.backend.load(address)
+        decode = self._code.decode(stored.data, stored.meta)
+        if decode.status is DecodeStatus.DETECTED_UE:
+            result = ReadResult(int_to_bytes(decode.data), ReadStatus.DETECTED_UE)
+        elif decode.status is DecodeStatus.CORRECTED:
+            result = ReadResult(int_to_bytes(decode.data), ReadStatus.CORRECTED_BIT)
+        else:
+            result = ReadResult(int_to_bytes(decode.data), ReadStatus.CLEAN)
+        silent = self.backend.is_silent_corruption(address, result.data, result.due)
+        self.stats.observe(result, silent)
+        return result
+
+    def inject_data_bits(self, address: int, mask: int) -> None:
+        self.backend.inject_data_bits(address, mask)
+
+    def inject_meta_bits(self, address: int, mask: int) -> None:
+        self.backend.inject_meta_bits(address, mask)
+
+
+class ConventionalChipkill:
+    """x4 symbol-based Chipkill DIMM (the paper's Chipkill baseline)."""
+
+    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+        self.config = config or SafeGuardConfig()
+        self.backend = backend or MemoryBackend()
+        self._code = ChipkillCode()
+        self.stats = ControllerStats()
+
+    def write(self, address: int, data: bytes) -> None:
+        if len(data) != 64:
+            raise ValueError("line must be 64 bytes")
+        line = bytes_to_int(data)
+        _, checks = self._code.encode(line)
+        self.backend.store(address, line, checks, data)
+        self.stats.writes += 1
+
+    def read(self, address: int) -> ReadResult:
+        stored = self.backend.load(address)
+        decode = self._code.decode(stored.data, stored.meta)
+        if decode.status is ChipkillStatus.DETECTED_UE:
+            result = ReadResult(int_to_bytes(decode.data), ReadStatus.DETECTED_UE)
+        elif decode.status is ChipkillStatus.CORRECTED:
+            result = ReadResult(
+                int_to_bytes(decode.data),
+                ReadStatus.CORRECTED_CHIP,
+                corrected_location=(
+                    decode.corrected_chips[0] if decode.corrected_chips else None
+                ),
+            )
+        else:
+            result = ReadResult(int_to_bytes(decode.data), ReadStatus.CLEAN)
+        silent = self.backend.is_silent_corruption(address, result.data, result.due)
+        self.stats.observe(result, silent)
+        return result
+
+    def inject_chip_failure(self, address: int, chip: int, error_mask32: int) -> None:
+        """XOR a per-beat nibble pattern into one chip (0..17)."""
+        stored = self.backend.load(address)
+        stored.data, stored.meta = self._code.corrupt_chip(
+            stored.data, stored.meta, chip, error_mask32
+        )
+
+    def inject_data_bits(self, address: int, mask: int) -> None:
+        self.backend.inject_data_bits(address, mask)
+
+
+class SGXStyleMAC:
+    """SECDED ECC DIMM plus a per-line MAC in a separate memory region.
+
+    Models the access pattern of SGX's MAC organization (Section VI-A.1):
+    the MAC cannot ride with the data burst, so each read issues a second
+    memory access for the MAC and each write writes both locations. The
+    underlying correction is the conventional word SECDED.
+    """
+
+    MAC_BITS = 64
+    READ_EXTRA_ACCESSES = 1
+    WRITE_EXTRA_ACCESSES = 1
+    STORAGE_OVERHEAD = 0.125
+
+    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+        self.config = config or SafeGuardConfig()
+        self.backend = backend or MemoryBackend()
+        self._code = WordSECDEDLine()
+        self._mac = LineMAC(self.config.key, self.MAC_BITS)
+        self._mac_region: dict = {}
+        self.stats = ControllerStats()
+
+    def write(self, address: int, data: bytes) -> None:
+        if len(data) != 64:
+            raise ValueError("line must be 64 bytes")
+        line = bytes_to_int(data)
+        _, ecc = self._code.encode(line)
+        self.backend.store(address, line, ecc, data)
+        self._mac_region[address] = self._mac.compute(data, address)
+        self.stats.writes += 1
+
+    def read(self, address: int) -> ReadResult:
+        stored = self.backend.load(address)
+        decode = self._code.decode(stored.data, stored.meta)
+        data = int_to_bytes(decode.data)
+        costs = AccessCosts(
+            mac_checks=1,
+            extra_memory_accesses=self.READ_EXTRA_ACCESSES,
+            latency_cycles=self.config.mac_latency_cycles,
+        )
+        mac_ok = self._mac.verify(data, address, self._mac_region.get(address, 0))
+        if decode.status is DecodeStatus.DETECTED_UE or not mac_ok:
+            result = ReadResult(data, ReadStatus.DETECTED_UE, costs)
+        elif decode.status is DecodeStatus.CORRECTED:
+            result = ReadResult(data, ReadStatus.CORRECTED_BIT, costs)
+        else:
+            result = ReadResult(data, ReadStatus.CLEAN, costs)
+        silent = self.backend.is_silent_corruption(address, result.data, result.due)
+        self.stats.observe(result, silent)
+        return result
+
+    def inject_data_bits(self, address: int, mask: int) -> None:
+        self.backend.inject_data_bits(address, mask)
+
+    def inject_mac_bits(self, address: int, mask: int) -> None:
+        """Corrupt the separately stored MAC (it lives in DRAM too)."""
+        self._mac_region[address] = self._mac_region.get(address, 0) ^ mask
+
+
+class SynergyStyleMAC:
+    """Synergy organization: MAC in the ECC chip, parity elsewhere.
+
+    Section VI-A.2 (and [39]): an x8 ECC DIMM whose ninth chip holds a
+    64-bit per-line MAC; a chip-wise parity (XOR across the 9 chips, 64
+    bits) lives in a separate memory region. Reads need no extra access —
+    detection uses the co-located MAC, and correction (rare) fetches the
+    parity. Every write, however, must also update the parity line:
+    one extra memory access per writeback, and 12.5% capacity loss.
+    """
+
+    MAC_BITS = 64
+    N_CHIPS = 8  #: x8 data chips; chip contribution = 64 bits per line
+    READ_EXTRA_ACCESSES = 0
+    WRITE_EXTRA_ACCESSES = 1
+    STORAGE_OVERHEAD = 0.125
+
+    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+        self.config = config or SafeGuardConfig()
+        self.backend = backend or MemoryBackend()
+        self._mac = LineMAC(self.config.key, self.MAC_BITS)
+        self._parity_region: dict = {}
+        self.stats = ControllerStats()
+
+    def _chip_parity(self, line: int, mac: int) -> int:
+        parity = mac
+        for chip in range(self.N_CHIPS):
+            parity ^= extract_chip_bits(line, chip, 8, self.N_CHIPS)
+        return parity
+
+    def write(self, address: int, data: bytes) -> None:
+        if len(data) != 64:
+            raise ValueError("line must be 64 bytes")
+        line = bytes_to_int(data)
+        mac = self._mac.compute(data, address)
+        self.backend.store(address, line, mac, data)
+        self._parity_region[address] = self._chip_parity(line, mac)
+        self.stats.writes += 1
+
+    def read(self, address: int) -> ReadResult:
+        stored = self.backend.load(address)
+        raw, mac = stored.data, stored.meta
+        checks = 1
+        if self._mac.verify(int_to_bytes(raw), address, mac):
+            result = ReadResult(
+                int_to_bytes(raw),
+                ReadStatus.CLEAN,
+                AccessCosts(mac_checks=1, latency_cycles=self.config.mac_latency_cycles),
+            )
+        else:
+            result = self._correct(address, raw, mac, checks)
+        silent = self.backend.is_silent_corruption(address, result.data, result.due)
+        self.stats.observe(result, silent)
+        return result
+
+    def _correct(self, address: int, raw: int, mac: int, checks: int) -> ReadResult:
+        parity = self._parity_region.get(address, 0)
+        iterations = 0
+        # Candidate chips: 8 data chips then the MAC chip.
+        for chip in range(self.N_CHIPS + 1):
+            iterations += 1
+            if chip < self.N_CHIPS:
+                others = parity ^ mac
+                for c in range(self.N_CHIPS):
+                    if c != chip:
+                        others ^= extract_chip_bits(raw, c, 8, self.N_CHIPS)
+                repaired = insert_chip_bits(raw, chip, others, 8, self.N_CHIPS)
+                repaired_mac = mac
+            else:
+                repaired = raw
+                repaired_mac = parity
+                for c in range(self.N_CHIPS):
+                    repaired_mac ^= extract_chip_bits(raw, c, 8, self.N_CHIPS)
+            checks += 1
+            if self._mac.verify(int_to_bytes(repaired), address, repaired_mac):
+                costs = AccessCosts(
+                    mac_checks=checks,
+                    extra_memory_accesses=1,  # parity fetch
+                    correction_iterations=iterations,
+                    latency_cycles=checks * self.config.mac_latency_cycles,
+                )
+                return ReadResult(
+                    int_to_bytes(repaired), ReadStatus.CORRECTED_CHIP, costs, chip
+                )
+        costs = AccessCosts(
+            mac_checks=checks,
+            extra_memory_accesses=1,
+            correction_iterations=iterations,
+            latency_cycles=checks * self.config.mac_latency_cycles,
+        )
+        return ReadResult(int_to_bytes(raw), ReadStatus.DETECTED_UE, costs)
+
+    def inject_data_bits(self, address: int, mask: int) -> None:
+        self.backend.inject_data_bits(address, mask)
+
+    def inject_chip_failure(self, address: int, chip: int, error_mask64: int) -> None:
+        """Corrupt one x8 chip's 64-bit per-line contribution (0..7), or
+        the MAC chip (8)."""
+        if chip < self.N_CHIPS:
+            stored = self.backend.load(address)
+            current = extract_chip_bits(stored.data, chip, 8, self.N_CHIPS)
+            stored.data = insert_chip_bits(
+                stored.data, chip, current ^ error_mask64, 8, self.N_CHIPS
+            )
+        elif chip == self.N_CHIPS:
+            self.backend.inject_meta_bits(address, error_mask64)
+        else:
+            raise ValueError("chip must be in [0, 9)")

@@ -1,0 +1,252 @@
+"""SafeGuard on x4 Chipkill DIMMs (Section V).
+
+The 18-chip x4 DIMM stores the 512-bit line across 16 data chips (32 bits
+per chip per line); SafeGuard repurposes the two ECC chips as:
+
+- chip 16: a 32-bit per-line MAC (error/tamper detection), and
+- chip 17: a 32-bit chip-wise parity across the other 17 chips
+  (correction of one full chip failure).
+
+Read path:
+
+- *Iterative correction* (Section V-B, Figure 9a): verify the MAC of the
+  raw data; on mismatch, iterate over the 17 non-parity chips, replacing
+  each candidate's contribution with its parity-based reconstruction and
+  re-checking the MAC. A match repairs the line; exhausting all
+  candidates raises a DUE.
+- *Eager correction* (Section V-D, Figure 9b, the default): once a failed
+  chip is known, skip the pre-correction MAC check — which under a
+  permanent chip failure would be performed on corrupted data every
+  access, accumulating 2^-32 escape probability per read (Section V-C) —
+  and verify only the reconstructed line. Interchanging failures between
+  chips ("ping-pong") beyond a small bound are declared DUEs.
+- *Spare lines* (footnote 2): a line repaired for a single-bit fault is
+  copied into one of a few controller spare lines so that recurring
+  accesses to permanently faulty lines skip iterative correction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.backend import MemoryBackend
+from repro.core.config import SafeGuardConfig
+from repro.core.spare import SpareLineBuffer
+from repro.core.types import AccessCosts, ControllerStats, ReadResult, ReadStatus
+from repro.ecc.parity import N_X4_DATA_CHIPS, chip_parity, recover_chip
+from repro.mac.linemac import LineMAC
+from repro.utils.bits import (
+    bytes_to_int,
+    extract_chip_bits,
+    int_to_bytes,
+)
+
+#: Chip indices: 0..15 data, 16 MAC, 17 parity.
+MAC_CHIP = 16
+PARITY_CHIP = 17
+N_CORRECTION_CANDIDATES = 17  #: data chips + MAC chip (parity chip needs no search)
+
+
+class SafeGuardChipkill:
+    """SafeGuard memory controller for x4 Chipkill modules."""
+
+    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+        self.config = config or SafeGuardConfig()
+        self.backend = backend or MemoryBackend()
+        self.mac_bits = self.config.chipkill_mac_bits()
+        if self.mac_bits > 32:
+            raise ValueError("the MAC chip provides at most 32 bits per line")
+        self._mac = LineMAC(self.config.key, self.mac_bits)
+        self.spares = SpareLineBuffer(self.config.spare_lines)
+        self.stats = ControllerStats()
+        #: Chip that failed on the most recent repair (None = none known).
+        self._known_failed_chip: Optional[int] = None
+        #: Consecutive repairs attributed to a *different* chip than the
+        #: previously known one (Section V-D ping-pong bound).
+        self._ping_pong = 0
+
+    # -- write path ----------------------------------------------------------
+
+    def write(self, address: int, data: bytes) -> None:
+        """Encode and store a 64-byte line."""
+        if len(data) != 64:
+            raise ValueError("line must be 64 bytes")
+        line = bytes_to_int(data)
+        mac = self._mac.compute(data, address) & 0xFFFFFFFF
+        parity = chip_parity(line, mac)
+        meta = mac | (parity << 32)
+        self.backend.store(address, line, meta, data)
+        self.spares.invalidate(address)
+        self.stats.writes += 1
+
+    # -- read path ------------------------------------------------------------
+
+    def read(self, address: int) -> ReadResult:
+        """Read a line through the SafeGuard-Chipkill verification path."""
+        spared = self.spares.lookup(address)
+        if spared is not None:
+            result = ReadResult(spared, ReadStatus.SERVICED_BY_SPARE, AccessCosts())
+            self.stats.observe(result, False)
+            return result
+        stored = self.backend.load(address)
+        raw = stored.data
+        mac = stored.meta & 0xFFFFFFFF
+        parity = (stored.meta >> 32) & 0xFFFFFFFF
+        if self.config.eager_correction and self._known_failed_chip is not None:
+            result = self._read_eager(address, raw, mac, parity)
+        else:
+            result = self._read_iterative(address, raw, mac, parity)
+        silent = self.backend.is_silent_corruption(address, result.data, result.due)
+        self.stats.observe(result, silent)
+        return result
+
+    def _read_iterative(
+        self, address: int, raw: int, mac: int, parity: int
+    ) -> ReadResult:
+        checks = 1
+        if self._mac_matches(raw, address, mac):
+            return ReadResult(
+                int_to_bytes(raw), ReadStatus.CLEAN, self._costs(checks, 0)
+            )
+        return self._search(address, raw, mac, parity, checks, iterations=0)
+
+    def _read_eager(self, address: int, raw: int, mac: int, parity: int) -> ReadResult:
+        # Skip the pre-correction check: reconstruct the known chip, then
+        # perform the *only* MAC check on the repaired line (Figure 9b).
+        chip = self._known_failed_chip
+        repaired_line, repaired_mac = recover_chip(raw, mac, parity, chip)
+        checks = 1
+        iterations = 1
+        if self._mac_matches(repaired_line, address, repaired_mac):
+            if repaired_line == raw and repaired_mac == mac:
+                # No fault was present; eager reconstruction is a no-op.
+                self._known_failed_chip = None
+                self._ping_pong = 0
+                return ReadResult(
+                    int_to_bytes(raw), ReadStatus.CLEAN, self._costs(checks, iterations)
+                )
+            self._ping_pong = 0
+            self._maybe_spare(address, raw, repaired_line)
+            return ReadResult(
+                int_to_bytes(repaired_line),
+                ReadStatus.CORRECTED_CHIP,
+                self._costs(checks, iterations),
+                chip,
+            )
+        # A different chip must be at fault: fall back to the full search.
+        return self._search(
+            address, raw, mac, parity, checks, iterations, exclude=chip
+        )
+
+    def _search(
+        self,
+        address: int,
+        raw: int,
+        mac: int,
+        parity: int,
+        checks: int,
+        iterations: int,
+        exclude: Optional[int] = None,
+    ) -> ReadResult:
+        previous = self._known_failed_chip
+        for chip in self._candidates(exclude):
+            iterations += 1
+            repaired_line, repaired_mac = recover_chip(raw, mac, parity, chip)
+            checks += 1
+            if not self._mac_matches(repaired_line, address, repaired_mac):
+                continue
+            # Found the faulty chip.
+            if previous is not None and chip != previous:
+                self._ping_pong += 1
+                if self._ping_pong >= self.config.ping_pong_limit:
+                    # Interchanging chip failures: not a pattern Chipkill
+                    # is expected to repair — declare a DUE (Section V-D).
+                    self._known_failed_chip = None
+                    self._ping_pong = 0
+                    return self._due(raw, checks, iterations)
+            else:
+                self._ping_pong = 0
+            self._known_failed_chip = chip
+            self._maybe_spare(address, raw, repaired_line)
+            return ReadResult(
+                int_to_bytes(repaired_line),
+                ReadStatus.CORRECTED_CHIP,
+                self._costs(checks, iterations),
+                chip,
+            )
+        return self._due(raw, checks, iterations)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _candidates(self, exclude: Optional[int]) -> List[int]:
+        order: List[int] = []
+        if self._known_failed_chip is not None and self._known_failed_chip != exclude:
+            order.append(self._known_failed_chip)
+        for chip in range(N_CORRECTION_CANDIDATES):
+            if chip != exclude and chip not in order:
+                order.append(chip)
+        return order
+
+    def _mac_matches(self, line: int, address: int, stored_mac: int) -> bool:
+        mask = (1 << self.mac_bits) - 1
+        return self._mac.compute(int_to_bytes(line), address) == (stored_mac & mask)
+
+    def _maybe_spare(self, address: int, raw: int, repaired: int) -> None:
+        """Footnote 2: spare lines absorb single-bit permanent faults."""
+        diff = raw ^ repaired
+        if diff and bin(diff).count("1") == 1:
+            self.spares.insert(address, int_to_bytes(repaired))
+
+    def _costs(self, checks: int, iterations: int) -> AccessCosts:
+        return AccessCosts(
+            mac_checks=checks,
+            correction_iterations=iterations,
+            latency_cycles=(
+                checks * self.config.mac_latency_cycles
+                + iterations * self.config.parity_reconstruct_cycles
+            ),
+        )
+
+    def _due(self, raw: int, checks: int, iterations: int) -> ReadResult:
+        return ReadResult(
+            int_to_bytes(raw), ReadStatus.DETECTED_UE, self._costs(checks, iterations)
+        )
+
+    # -- fault-injection conveniences ------------------------------------------------
+
+    def inject_chip_failure(self, address: int, chip: int, error_mask32: int) -> None:
+        """XOR a 32-bit error pattern into one chip's per-line contribution.
+
+        Chips 0..15 corrupt the data line, chip 16 the stored MAC, chip 17
+        the stored parity.
+        """
+        error_mask32 &= 0xFFFFFFFF
+        if not error_mask32:
+            return
+        if chip < N_X4_DATA_CHIPS:
+            mask = 0
+            for beat in range(8):
+                nibble = (error_mask32 >> (4 * beat)) & 0xF
+                mask |= nibble << (beat * 64 + 4 * chip)
+            self.backend.inject_data_bits(address, mask)
+        elif chip == MAC_CHIP:
+            self.backend.inject_meta_bits(address, error_mask32)
+        elif chip == PARITY_CHIP:
+            self.backend.inject_meta_bits(address, error_mask32 << 32)
+        else:
+            raise ValueError("chip must be in [0, 18)")
+
+    def inject_data_bits(self, address: int, mask: int) -> None:
+        """Flip raw data bits of the stored line."""
+        self.backend.inject_data_bits(address, mask)
+
+    def chip_contribution(self, address: int, chip: int) -> int:
+        """The stored 32-bit contribution of a chip (for tests)."""
+        stored = self.backend.load(address)
+        if chip < N_X4_DATA_CHIPS:
+            return extract_chip_bits(stored.data, chip, 4, N_X4_DATA_CHIPS)
+        if chip == MAC_CHIP:
+            return stored.meta & 0xFFFFFFFF
+        if chip == PARITY_CHIP:
+            return (stored.meta >> 32) & 0xFFFFFFFF
+        raise ValueError("chip must be in [0, 18)")

@@ -1,0 +1,69 @@
+"""Configuration for the SafeGuard controllers (Table II defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SafeGuardConfig:
+    """Knobs shared by the SECDED and Chipkill SafeGuard organizations.
+
+    Defaults follow the paper: MAC latency of 8 processor cycles
+    (Table II), column parity enabled for the SECDED organization
+    (Figure 5), eager correction enabled for the Chipkill organization
+    (Section V-D), 4 controller spare lines (footnote 2).
+    """
+
+    #: 16-byte MAC key, initialized randomly at boot in a real controller.
+    key: bytes = b"\x00" * 16
+
+    #: MAC check latency in processor cycles (Table II: 8; Figure 13
+    #: sweeps 8..80).
+    mac_latency_cycles: int = 8
+
+    #: Latency of one parity-based reconstruction (Section IV-C: "can be
+    #: done in one cycle").
+    parity_reconstruct_cycles: int = 1
+
+    # -- SECDED organization ---------------------------------------------------
+
+    #: Use the Figure 5 layout (10b ECC-1 + 8b column parity + 46b MAC)
+    #: instead of the Figure 3b layout (10b ECC-1 + 54b MAC).
+    column_parity: bool = True
+
+    #: After this many consecutive recoveries of the same column, skip the
+    #: initial MAC check and eagerly reconstruct (Section IV-C).
+    column_eager_after: int = 3
+
+    # -- Chipkill organization ---------------------------------------------------
+
+    #: Skip the pre-correction MAC check once a failed chip is known
+    #: (Section V-D, Eager Correction). Without it the design degrades to
+    #: history-based iterative correction (Section V-C).
+    eager_correction: bool = True
+
+    #: Consecutive distinct-chip repairs ("ping-pong") after which the
+    #: controller declares a DUE rather than keep re-searching
+    #: (Section V-D).
+    ping_pong_limit: int = 8
+
+    #: Controller spare lines for lines with single-bit permanent faults
+    #: (footnote 2: "a few (4-5)").
+    spare_lines: int = 4
+
+    #: Override the MAC width (bits). None selects the organization's
+    #: paper value: 54/46 for SECDED (without/with column parity), 32 for
+    #: Chipkill. Narrow widths are used by the escape-rate experiments so
+    #: collisions become observable in feasible simulation time.
+    mac_bits: "int | None" = None
+
+    def secded_mac_bits(self) -> int:
+        if self.mac_bits is not None:
+            return self.mac_bits
+        return 46 if self.column_parity else 54
+
+    def chipkill_mac_bits(self) -> int:
+        if self.mac_bits is not None:
+            return self.mac_bits
+        return 32

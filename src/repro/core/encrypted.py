@@ -1,0 +1,74 @@
+"""Composition of transparent memory encryption with SafeGuard.
+
+Section VII-D ends with: "RAMBleed can be prevented using low-cost memory
+encryption (e.g., Intel TME)". Encryption and SafeGuard protect different
+properties — confidentiality versus integrity — and compose naturally:
+lines are encrypted before they reach the controller, and SafeGuard's
+MAC/ECC metadata is computed over the *ciphertext* (so verification and
+correction never need the encryption key on the critical path, and a
+column/chip repair operates on ciphertext bits exactly as before).
+
+:class:`EncryptedController` wraps any :mod:`repro.core` controller. The
+wrapped data path keeps all of SafeGuard's guarantees (fault injection
+below still produces corrections/DUEs), while the bits resident in DRAM
+are pseudorandom — RAMBleed's data-dependent flips stop correlating with
+plaintext secrets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.types import ReadResult
+from repro.security.rambleed import TMEEncryptedMemory
+
+
+class EncryptedController:
+    """TME-style encryption layered over a SafeGuard (or any) controller.
+
+    The wrapper is API-compatible with the controllers it wraps: ``write``
+    and ``read`` speak plaintext; the injection helpers target the stored
+    (ciphertext) bits, as physical faults do.
+    """
+
+    def __init__(self, inner, encryption_key: bytes):
+        self.inner = inner
+        self._tme = TMEEncryptedMemory(encryption_key)
+
+    # -- data path -----------------------------------------------------------
+
+    def write(self, address: int, data: bytes) -> None:
+        self.inner.write(address, self._tme.encrypt_line(data, address))
+
+    def read(self, address: int) -> ReadResult:
+        result = self.inner.read(address)
+        if not result.ok:
+            # DUE: surface the raw ciphertext bits; decrypting garbage
+            # would only lend them false structure.
+            return result
+        return replace(
+            result, data=self._tme.decrypt_line(result.data, address)
+        )
+
+    def stored_ciphertext(self, address: int) -> bytes:
+        """The bits actually resident in DRAM (what RAMBleed can sense)."""
+        from repro.utils.bits import int_to_bytes
+
+        return int_to_bytes(self.inner.backend.load(address).data)
+
+    # -- passthroughs ------------------------------------------------------------
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def backend(self):
+        return self.inner.backend
+
+    def __getattr__(self, name):
+        # Fault-injection helpers (inject_data_bits, inject_pin_failure,
+        # inject_chip_failure, ...) operate on stored bits: delegate.
+        if name.startswith("inject_"):
+            return getattr(self.inner, name)
+        raise AttributeError(name)

@@ -1,0 +1,50 @@
+"""Controller spare lines (paper footnote 2, Section V-D).
+
+A memory system can accumulate lines with single-bit *permanent* faults.
+Conventional Chipkill corrects these transparently, but SafeGuard's
+iterative correction would re-run every time a different faulty line is
+accessed. The paper's fix: provision the memory controller with a few
+(4-5) spare lines; on correcting a single-bit fault, copy the corrected
+line into a spare, and service subsequent accesses from the spare.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class SpareLineBuffer:
+    """A tiny fully-associative LRU buffer of repaired lines."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._lines: "OrderedDict[int, bytes]" = OrderedDict()
+
+    def lookup(self, address: int) -> Optional[bytes]:
+        """Return the spared data for ``address``, refreshing its LRU slot."""
+        data = self._lines.get(address)
+        if data is not None:
+            self._lines.move_to_end(address)
+        return data
+
+    def insert(self, address: int, data: bytes) -> None:
+        """Remember a repaired line, evicting the least recently used."""
+        if self.capacity == 0:
+            return
+        self._lines[address] = data
+        self._lines.move_to_end(address)
+        while len(self._lines) > self.capacity:
+            self._lines.popitem(last=False)
+
+    def invalidate(self, address: int) -> None:
+        """Drop a spare on a new write to the address."""
+        self._lines.pop(address, None)
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._lines

@@ -1,0 +1,105 @@
+"""Shared result types for all memory-controller data paths."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class ReadStatus(enum.Enum):
+    """Outcome of one line read, as the controller reports it."""
+
+    #: No error observed on the read path.
+    CLEAN = "clean"
+    #: A single-bit error was corrected by the ECC code (ECC-1 / SECDED).
+    CORRECTED_BIT = "corrected_bit"
+    #: A pin/column failure was repaired via column parity (Section IV-C).
+    CORRECTED_COLUMN = "corrected_column"
+    #: A chip failure was repaired via chip-wise parity (Section V).
+    CORRECTED_CHIP = "corrected_chip"
+    #: The access was serviced by a controller spare line (footnote 2).
+    SERVICED_BY_SPARE = "serviced_by_spare"
+    #: Detected Unrecoverable Error — integrity violation or uncorrectable
+    #: fault; the system is informed (Section VII-A).
+    DETECTED_UE = "detected_ue"
+
+
+@dataclass(frozen=True)
+class AccessCosts:
+    """Per-access bookkeeping used by the performance model and benches."""
+
+    #: Number of MAC computations performed (each costs ``mac_latency``).
+    mac_checks: int = 0
+    #: Extra DRAM accesses beyond the demand access itself (SGX-style MAC
+    #: fetch, Synergy-style parity write, ...).
+    extra_memory_accesses: int = 0
+    #: Correction iterations executed (column candidates / chip candidates).
+    correction_iterations: int = 0
+    #: Total added latency on the critical path, in processor cycles.
+    latency_cycles: int = 0
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """What a controller returns for a line read.
+
+    ``data`` is always populated — on :attr:`ReadStatus.DETECTED_UE` it
+    carries the (corrupt) raw data for post-mortem inspection, and
+    consumers must honour ``ok`` before using it.
+    """
+
+    data: bytes
+    status: ReadStatus
+    costs: AccessCosts = field(default_factory=AccessCosts)
+    #: Location detail when a correction happened (bit index, pin index or
+    #: chip index depending on ``status``).
+    corrected_location: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the controller signalled a DUE."""
+        return self.status is not ReadStatus.DETECTED_UE
+
+    @property
+    def due(self) -> bool:
+        return self.status is ReadStatus.DETECTED_UE
+
+
+@dataclass
+class ControllerStats:
+    """Running counters a controller keeps across its lifetime."""
+
+    reads: int = 0
+    writes: int = 0
+    clean_reads: int = 0
+    corrected_bit: int = 0
+    corrected_column: int = 0
+    corrected_chip: int = 0
+    spare_hits: int = 0
+    dues: int = 0
+    mac_checks: int = 0
+    correction_iterations: int = 0
+    #: Reads whose returned data differed from the golden copy without a
+    #: DUE — silent data corruption. Only tracked when the backend keeps
+    #: golden data (it does by default; see MemoryBackend).
+    silent_corruptions: int = 0
+
+    def observe(self, result: ReadResult, silent: bool) -> None:
+        self.reads += 1
+        self.mac_checks += result.costs.mac_checks
+        self.correction_iterations += result.costs.correction_iterations
+        if result.status is ReadStatus.CLEAN:
+            self.clean_reads += 1
+        elif result.status is ReadStatus.CORRECTED_BIT:
+            self.corrected_bit += 1
+        elif result.status is ReadStatus.CORRECTED_COLUMN:
+            self.corrected_column += 1
+        elif result.status is ReadStatus.CORRECTED_CHIP:
+            self.corrected_chip += 1
+        elif result.status is ReadStatus.SERVICED_BY_SPARE:
+            self.spare_hits += 1
+        elif result.status is ReadStatus.DETECTED_UE:
+            self.dues += 1
+        if silent:
+            self.silent_corruptions += 1

@@ -1,0 +1,24 @@
+"""Trace-driven multi-core model (the Scarab stand-in; DESIGN.md §4).
+
+- :mod:`repro.cpu.trace` — synthetic memory-access trace generator.
+- :mod:`repro.cpu.workloads` — per-SPEC-2017-benchmark trace profiles.
+- :mod:`repro.cpu.core` — ROB-limited out-of-order core timing model.
+- :mod:`repro.cpu.system` — 4-core co-simulation over a shared hierarchy.
+"""
+
+from repro.cpu.trace import MemOp, TraceGenerator
+from repro.cpu.workloads import WorkloadProfile, SPEC2017_PROFILES, profile
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.system import System, SystemResult
+
+__all__ = [
+    "MemOp",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "SPEC2017_PROFILES",
+    "profile",
+    "Core",
+    "CoreConfig",
+    "System",
+    "SystemResult",
+]

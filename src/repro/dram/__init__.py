@@ -1,0 +1,26 @@
+"""Bank-level DRAM timing model (the Ramulator stand-in; see DESIGN.md §4).
+
+Models the Table II memory system: DDR4-3200, 1 channel, 2 ranks of 16
+banks, 8KB row buffer, 64-entry read and write queues. Captures the
+effects the paper's performance results hinge on: row-buffer hits versus
+misses/conflicts, bank-level parallelism, data-bus occupancy, write-drain
+interference, and refresh — the terms that translate extra memory
+accesses (SGX-/Synergy-style MACs) and extra check latency (SafeGuard)
+into slowdown.
+"""
+
+from repro.dram.timing import DDR4_3200, DramTiming
+from repro.dram.address_map import AddressMapper, DramAddress
+from repro.dram.bank import Bank
+from repro.dram.controller import MemoryController, MemRequest, MemResponse
+
+__all__ = [
+    "DDR4_3200",
+    "DramTiming",
+    "AddressMapper",
+    "DramAddress",
+    "Bank",
+    "MemoryController",
+    "MemRequest",
+    "MemResponse",
+]

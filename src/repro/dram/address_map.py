@@ -1,0 +1,65 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+Uses the common row:rank:bank:column:offset interleaving so that
+consecutive cache lines walk the row buffer (high row locality for
+streaming) and banks interleave at row-buffer granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    rank: int
+    bank: int
+    row: int
+    col: int  #: column address at cache-line granularity
+
+    @property
+    def bank_id(self) -> int:
+        """Flat bank index across ranks."""
+        return self.rank * 1_000 + self.bank  # ranks never exceed 1000
+
+
+class AddressMapper:
+    """Bit-sliced address mapping for a single-channel system."""
+
+    def __init__(
+        self,
+        line_bytes: int = 64,
+        ranks: int = 2,
+        banks: int = 16,
+        row_buffer_bytes: int = 8192,
+        rows: int = 65536,
+    ):
+        self.line_bytes = line_bytes
+        self.ranks = ranks
+        self.banks = banks
+        self.rows = rows
+        self.cols_per_row = row_buffer_bytes // line_bytes
+
+    def map(self, address: int) -> DramAddress:
+        """Physical byte address -> (rank, bank, row, column).
+
+        The bank index is XOR-hashed with the folded row bits (permutation-
+        based page interleaving, as real controllers do) so that strided
+        streams from different address regions do not march across banks in
+        lockstep. The hash is injective given (row, bank), so no two
+        addresses alias.
+        """
+        line = address // self.line_bytes
+        col = line % self.cols_per_row
+        line //= self.cols_per_row
+        bank = line % self.banks
+        line //= self.banks
+        rank = line % self.ranks
+        line //= self.ranks
+        row = line % self.rows
+        fold = line  # row plus any higher (region/core) bits
+        h = 0
+        while fold:
+            h ^= fold % self.banks
+            fold //= self.banks
+        return DramAddress(rank=rank, bank=(bank ^ h) % self.banks, row=row, col=col)

@@ -1,0 +1,70 @@
+"""One DRAM bank: open-row state plus timing bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.timing import DramTiming
+
+
+class Bank:
+    """Tracks the open row and the earliest next-command times of a bank.
+
+    ``policy`` selects the row-buffer management policy: ``"open"`` (the
+    default; rows stay open until a conflict — maximizes row-hit locality)
+    or ``"closed"`` (auto-precharge after every access — trades the hit
+    case away to make every access a uniform row miss, a policy some
+    controllers use under irregular traffic).
+    """
+
+    def __init__(self, timing: DramTiming, policy: str = "open"):
+        if policy not in ("open", "closed"):
+            raise ValueError("policy must be 'open' or 'closed'")
+        self.timing = timing
+        self.policy = policy
+        self.open_row: Optional[int] = None
+        #: Earliest memory-cycle at which a new column command may start.
+        self.ready_at: float = 0.0
+        #: When the current row's tRAS window ends (precharge not earlier).
+        self._ras_done_at: float = 0.0
+
+    def access(self, row: int, now: float) -> "tuple[float, str]":
+        """Issue an access to ``row`` at time >= ``now``.
+
+        Returns ``(data_ready_time, kind)`` where kind is ``hit``,
+        ``miss`` (bank was precharged) or ``conflict`` (another row was
+        open). Updates bank state.
+        """
+        t = self.timing
+        start = max(now, self.ready_at)
+        if self.open_row == row:
+            kind = "hit"
+            data_at = start + t.row_hit_cycles
+            self.ready_at = start + t.tCCD
+        elif self.open_row is None:
+            kind = "miss"
+            data_at = start + t.row_miss_cycles
+            self.open_row = row
+            self._ras_done_at = start + t.tRAS
+            self.ready_at = start + t.tRCD + t.tCCD
+        else:
+            kind = "conflict"
+            start = max(start, self._ras_done_at)
+            data_at = start + t.row_conflict_cycles
+            self.open_row = row
+            self._ras_done_at = start + t.tRP + t.tRAS
+            self.ready_at = start + t.tRP + t.tRCD + t.tCCD
+        if self.policy == "closed":
+            # Auto-precharge: the row closes after the access; the next
+            # access pays a plain activate (miss), never a conflict, but
+            # also never hits.
+            self.open_row = None
+            self.ready_at = max(
+                self.ready_at, max(start, self._ras_done_at) + t.tRTP + t.tRP
+            )
+        return data_at, kind
+
+    def precharge(self, now: float) -> None:
+        """Close the open row (used by refresh)."""
+        self.open_row = None
+        self.ready_at = max(self.ready_at, max(now, self._ras_done_at) + self.timing.tRP)

@@ -1,0 +1,182 @@
+"""Transaction-level memory controller.
+
+Services read/write requests against the bank timing model, tracking the
+shared data bus, per-bank state, read-queue occupancy, posted writes with
+high/low-watermark draining, and periodic refresh. Requests are processed
+in arrival order with bank/bus busy-time bookkeeping — a deliberate
+simplification of FR-FCFS reordering (see DESIGN.md §4): row-buffer
+locality, bank-level parallelism and bus saturation are modeled exactly,
+out-of-order request lifting is not.
+
+All times are in memory-controller cycles (floats); callers convert to
+CPU cycles via :data:`repro.dram.timing.CPU_CYCLES_PER_MEM_CYCLE`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dram.address_map import AddressMapper
+from repro.dram.bank import Bank
+from repro.dram.timing import DDR4_3200, DramTiming
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    address: int
+    is_write: bool
+    issue_time: float  #: memory cycles
+
+
+@dataclass(frozen=True)
+class MemResponse:
+    data_ready_time: float  #: memory cycles (end of data burst)
+    row_result: str  #: 'hit' / 'miss' / 'conflict'
+
+    def latency(self, request: MemRequest) -> float:
+        return self.data_ready_time - request.issue_time
+
+
+@dataclass
+class ControllerStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    total_read_latency: float = 0.0
+    refreshes: int = 0
+    write_drains: int = 0
+
+    @property
+    def avg_read_latency(self) -> float:
+        return self.total_read_latency / self.reads if self.reads else 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+
+class MemoryController:
+    """Single-channel DDR4 controller (Table II configuration)."""
+
+    READ_QUEUE_ENTRIES = 64
+    WRITE_QUEUE_ENTRIES = 64
+    WRITE_DRAIN_HIGH = 48
+    WRITE_DRAIN_LOW = 16
+
+    def __init__(
+        self,
+        timing: DramTiming = DDR4_3200,
+        mapper: AddressMapper = None,
+        enable_refresh: bool = True,
+        page_policy: str = "open",
+    ):
+        self.timing = timing
+        self.mapper = mapper or AddressMapper()
+        self.enable_refresh = enable_refresh
+        self.page_policy = page_policy
+        self._banks: Dict[Tuple[int, int], Bank] = {}
+        self._bus_free_at = 0.0
+        #: Per-rank recent activation start times (tRRD / tFAW window).
+        self._rank_acts: Dict[int, List[float]] = {}
+        #: Min-heap of outstanding read completion times (queue occupancy).
+        self._inflight_reads: List[float] = []
+        self._write_queue: List[int] = []
+        self._next_refresh = float(timing.tREFI)
+        self.stats = ControllerStats()
+
+    # -- public API ---------------------------------------------------------
+
+    def read(self, address: int, now: float) -> MemResponse:
+        """Issue a demand/prefetch read; returns when its data burst ends."""
+        now = self._admit_read(now)
+        self._maybe_refresh(now)
+        response = self._do_access(address, now)
+        heapq.heappush(self._inflight_reads, response.data_ready_time)
+        self.stats.reads += 1
+        self.stats.total_read_latency += response.data_ready_time - now
+        return response
+
+    def write(self, address: int, now: float) -> None:
+        """Post a write (writeback).
+
+        Writes are off the critical path (posted via the write queue); a
+        real controller drains them under read priority, so their cost to
+        reads appears as data-bus and bank occupancy rather than as
+        synchronous blocking. The model charges exactly that: the write's
+        bank access and bus burst are booked immediately, inflating the
+        busy times subsequent reads observe.
+        """
+        self.stats.writes += 1
+        self._maybe_refresh(now)
+        self._do_access(address, now)
+
+    # -- internals -------------------------------------------------------------
+
+    def _admit_read(self, now: float) -> float:
+        """Block until the read queue has a free entry."""
+        while self._inflight_reads and self._inflight_reads[0] <= now:
+            heapq.heappop(self._inflight_reads)
+        if len(self._inflight_reads) >= self.READ_QUEUE_ENTRIES:
+            now = max(now, heapq.heappop(self._inflight_reads))
+            while self._inflight_reads and self._inflight_reads[0] <= now:
+                heapq.heappop(self._inflight_reads)
+        return now
+
+    def _bank(self, rank: int, bank: int) -> Bank:
+        key = (rank, bank)
+        entry = self._banks.get(key)
+        if entry is None:
+            entry = Bank(self.timing, policy=self.page_policy)
+            self._banks[key] = entry
+        return entry
+
+    def _do_access(self, address: int, now: float) -> MemResponse:
+        coords = self.mapper.map(address)
+        bank = self._bank(coords.rank, coords.bank)
+        if bank.open_row != coords.row:
+            # This access needs an ACT: honour the rank's tRRD/tFAW pacing.
+            now = self._admit_activation(coords.rank, now)
+        data_at, kind = bank.access(coords.row, now)
+        # The data burst occupies the shared bus for tBL cycles ending at
+        # data_at; push it back if the bus is still busy.
+        burst_start = max(data_at - self.timing.tBL, self._bus_free_at)
+        data_at = burst_start + self.timing.tBL
+        self._bus_free_at = data_at
+        if kind == "hit":
+            self.stats.row_hits += 1
+        elif kind == "miss":
+            self.stats.row_misses += 1
+        else:
+            self.stats.row_conflicts += 1
+        return MemResponse(data_ready_time=data_at, row_result=kind)
+
+    def _admit_activation(self, rank: int, now: float) -> float:
+        """Earliest time a new ACT to this rank may issue (tRRD, tFAW)."""
+        acts = self._rank_acts.setdefault(rank, [])
+        t = self.timing
+        start = now
+        if acts:
+            start = max(start, acts[-1] + t.tRRD)
+        if len(acts) >= 4:
+            start = max(start, acts[-4] + t.tFAW)
+        acts.append(start)
+        if len(acts) > 4:
+            del acts[: len(acts) - 4]
+        return start
+
+    def _maybe_refresh(self, now: float) -> None:
+        if not self.enable_refresh:
+            return
+        while now >= self._next_refresh:
+            # All-bank refresh: every bank is precharged and unavailable
+            # for tRFC from the refresh point.
+            for bank in self._banks.values():
+                bank.precharge(self._next_refresh)
+                bank.ready_at = max(bank.ready_at, self._next_refresh + self.timing.tRFC)
+            self.stats.refreshes += 1
+            self._next_refresh += self.timing.tREFI

@@ -1,0 +1,88 @@
+"""DDR4 timing parameters.
+
+All values are in *memory-controller cycles* at the bus clock (1600MHz for
+DDR4-3200, i.e. 0.625ns per cycle; the 3.2GHz core runs 2 CPU cycles per
+memory cycle — Table II's "8 processor cycles (4 memory controller
+cycles)" MAC latency uses the same conversion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """The subset of DDR4 timings the bank model uses."""
+
+    name: str
+    freq_mhz: int
+    tRCD: int  #: activate -> column command
+    tRP: int  #: precharge period
+    tCL: int  #: column command -> first data
+    tRAS: int  #: activate -> precharge
+    tBL: int  #: data-bus beats per access / 2 (burst 8, DDR)
+    tCCD: int  #: column-to-column (same bank group approximated)
+    tWR: int  #: write recovery
+    tWTR: int  #: write-to-read turnaround
+    tRTP: int  #: read-to-precharge
+    tRFC: int  #: refresh cycle time
+    tREFI: int  #: refresh interval
+    tRRD: int = 4  #: activate-to-activate, different banks (same rank)
+    tFAW: int = 40  #: four-activation window per rank
+
+    @property
+    def tRC(self) -> int:
+        """Activate-to-activate, same bank."""
+        return self.tRAS + self.tRP
+
+    @property
+    def row_hit_cycles(self) -> int:
+        """Column access on an open row."""
+        return self.tCL + self.tBL
+
+    @property
+    def row_miss_cycles(self) -> int:
+        """Activate + column access on a precharged bank."""
+        return self.tRCD + self.tCL + self.tBL
+
+    @property
+    def row_conflict_cycles(self) -> int:
+        """Precharge + activate + column access."""
+        return self.tRP + self.tRCD + self.tCL + self.tBL
+
+
+#: DDR4-3200AA-ish timings (22-22-22) in bus-clock cycles.
+DDR4_3200 = DramTiming(
+    name="DDR4-3200",
+    freq_mhz=1600,
+    tRCD=22,
+    tRP=22,
+    tCL=22,
+    tRAS=52,
+    tBL=4,
+    tCCD=8,
+    tWR=24,
+    tWTR=12,
+    tRTP=12,
+    tRFC=560,  # 350ns for 8Gb devices
+    tREFI=12480,  # 7.8us
+)
+
+#: CPU cycles per memory-controller cycle (3.2GHz core / 1.6GHz bus).
+CPU_CYCLES_PER_MEM_CYCLE = 2
+
+
+def max_activations_per_refresh_window(
+    timing: DramTiming = DDR4_3200, window_ms: float = 64.0
+) -> int:
+    """Single-bank activation budget per refresh window.
+
+    An attacker hammering one bank is paced by tRC; this bounds the
+    hammer count any Row-Hammer pattern can deliver per 64ms window
+    (DDR4-3200: ~1.38M), the figure the attack runner's default budget
+    comes from.
+    """
+    ns_per_cycle = 1000.0 / timing.freq_mhz
+    trc_ns = timing.tRC * ns_per_cycle
+    return int(window_ms * 1e6 / trc_ns)

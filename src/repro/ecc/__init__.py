@@ -1,0 +1,55 @@
+"""Error-correcting and error-detecting code substrate.
+
+Everything SafeGuard builds on, implemented from scratch at bit level:
+
+- :mod:`repro.ecc.hamming` — parameterizable Hamming SEC and extended
+  SEC-DED codes.
+- :mod:`repro.ecc.secded` — the two concrete instances the paper uses:
+  the conventional (72,64) word-granularity SECDED code and the 10-bit
+  line-granularity ECC-1 code SafeGuard replaces it with.
+- :mod:`repro.ecc.gf` / :mod:`repro.ecc.reed_solomon` — GF(2^m) arithmetic
+  and a generic Reed-Solomon encoder/decoder (Berlekamp-Massey + Chien +
+  Forney), used by the Chipkill codec.
+- :mod:`repro.ecc.chipkill` — x4 symbol-based Chipkill (SSC) built on
+  RS(18,16) over GF(16), one codeword per bus beat.
+- :mod:`repro.ecc.parity` — the 8-bit pin-column parity of Section IV-C
+  and the 32-bit chip-wise parity of the Chipkill organization.
+- :mod:`repro.ecc.crc` — CRC, the detection code the paper considers and
+  rejects (predictable/reverse-engineerable); kept for the ablation bench.
+"""
+
+from repro.ecc.hamming import HammingSEC, HammingSECDED, DecodeStatus, DecodeResult
+from repro.ecc.secded import SECDED72, LineECC1, WordSECDEDLine
+from repro.ecc.gf import GF2m, GF16, GF256
+from repro.ecc.reed_solomon import ReedSolomon, RSDecodeFailure
+from repro.ecc.chipkill import ChipkillCode, ChipkillResult
+from repro.ecc.bamboo import BambooQPC, BambooResult, BambooStatus
+from repro.ecc.parity import column_parity, recover_pin, chip_parity, recover_chip
+from repro.ecc.crc import CRC, CRC32, CRC46
+
+__all__ = [
+    "HammingSEC",
+    "HammingSECDED",
+    "DecodeStatus",
+    "DecodeResult",
+    "SECDED72",
+    "LineECC1",
+    "WordSECDEDLine",
+    "GF2m",
+    "GF16",
+    "GF256",
+    "ReedSolomon",
+    "RSDecodeFailure",
+    "ChipkillCode",
+    "ChipkillResult",
+    "BambooQPC",
+    "BambooResult",
+    "BambooStatus",
+    "column_parity",
+    "recover_pin",
+    "chip_parity",
+    "recover_chip",
+    "CRC",
+    "CRC32",
+    "CRC46",
+]

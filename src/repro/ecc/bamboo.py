@@ -1,0 +1,94 @@
+"""Bamboo-ECC-style vertical pin code (related work, Section VIII / [20]).
+
+Bamboo ECC rotates the codeword: instead of horizontal per-beat words, it
+treats each data-bus *pin's* burst contribution (8 bits) as a symbol and
+protects the 64 pin symbols with a vertical Reed-Solomon code whose check
+symbols live on the ECC chip's 8 pins. RS(72, 64) over GF(256) has 8
+check symbols → corrects up to 4 arbitrary pin (column) failures per
+line, the "QPC" (quadruple pin correction) configuration.
+
+Relevance to the paper: Bamboo is the strongest conventional answer to
+pin/column faults, but its detection of *arbitrary* (Row-Hammer-shaped)
+corruption is still bounded algebra, not cryptography — scattered
+multi-bit flips spanning more than 4 pins can miscorrect silently, and an
+adversary can compute codeword-preserving flip patterns outright (no
+secret). The ablation bench contrasts this with SafeGuard's MAC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.ecc.gf import GF256
+from repro.ecc.reed_solomon import ReedSolomon, RSDecodeFailure
+from repro.utils.bits import LINE_BITS, extract_pin_symbols, pin_symbols_to_int
+
+
+class BambooStatus(enum.Enum):
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED_UE = "detected_ue"
+
+
+@dataclass(frozen=True)
+class BambooResult:
+    data: int  #: 512-bit (possibly corrected) line
+    status: BambooStatus
+    corrected_pins: Tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not BambooStatus.DETECTED_UE
+
+
+class BambooQPC:
+    """Vertical RS(72,64)/GF(256): quadruple pin correction per line."""
+
+    DATA_PINS = 64
+    CHECK_PINS = 8
+    N_PINS = DATA_PINS + CHECK_PINS
+    ECC_BITS = CHECK_PINS * 8  #: 64 bits — the same ECC-chip budget
+
+    def __init__(self):
+        self._rs = ReedSolomon(GF256, self.N_PINS, self.DATA_PINS)
+        assert self._rs.t == 4
+
+    def encode(self, line: int) -> Tuple[int, int]:
+        """512-bit line -> (line, 64-bit packed check-pin symbols)."""
+        if line < 0 or line >> LINE_BITS:
+            raise ValueError("line does not fit in 512 bits")
+        symbols = extract_pin_symbols(line, self.DATA_PINS)
+        codeword = self._rs.encode(symbols)
+        checks = 0
+        for i, symbol in enumerate(codeword[self.DATA_PINS :]):
+            checks |= symbol << (8 * i)
+        return line, checks
+
+    def decode(self, line: int, checks: int) -> BambooResult:
+        """Correct up to 4 corrupted pin symbols."""
+        received = extract_pin_symbols(line, self.DATA_PINS) + [
+            (checks >> (8 * i)) & 0xFF for i in range(self.CHECK_PINS)
+        ]
+        try:
+            result = self._rs.decode(received)
+        except RSDecodeFailure:
+            return BambooResult(line, BambooStatus.DETECTED_UE, ())
+        corrected_line = pin_symbols_to_int(list(result.data))
+        status = (
+            BambooStatus.CORRECTED if result.corrected_positions else BambooStatus.CLEAN
+        )
+        return BambooResult(corrected_line, status, result.corrected_positions)
+
+    def corrupt_pin(self, line: int, checks: int, pin: int, symbol_error: int) -> Tuple[int, int]:
+        """XOR an 8-bit error into one pin's symbol (data or check pin)."""
+        symbol_error &= 0xFF
+        if pin < self.DATA_PINS:
+            for beat in range(8):
+                if (symbol_error >> beat) & 1:
+                    line ^= 1 << (beat * self.DATA_PINS + pin)
+            return line, checks
+        if pin < self.N_PINS:
+            return line, checks ^ (symbol_error << (8 * (pin - self.DATA_PINS)))
+        raise ValueError("pin out of range")

@@ -1,0 +1,67 @@
+"""Cyclic redundancy checks.
+
+The paper considers CRC as the per-line detection code and rejects it
+because CRCs are linear: ``crc(a ^ b) = crc(a) ^ crc(b)`` (for zero
+init/xorout over equal lengths), so an adversary who can flip chosen bits
+can always adjust the stored check to match — there is no secret. The
+:mod:`repro.core.analysis` ablation and the associated bench demonstrate
+exactly this forgery against :class:`CRC46` while the MAC resists it.
+"""
+
+from __future__ import annotations
+
+
+class CRC:
+    """Bitwise CRC over little-endian line integers.
+
+    ``width`` check bits with generator ``poly`` (implicit ``x^width``
+    term excluded, as is conventional), zero initial value and no final
+    XOR — the plain linear form relevant to the paper's argument.
+    """
+
+    def __init__(self, width: int, poly: int):
+        if poly >> width:
+            raise ValueError("polynomial wider than CRC width")
+        self.width = width
+        self.poly = poly
+        self._top = 1 << (width - 1)
+        self._mask = (1 << width) - 1
+        self._table = [self._slow_byte(b) for b in range(256)]
+
+    def _slow_byte(self, byte: int) -> int:
+        reg = byte << (self.width - 8) if self.width >= 8 else byte >> (8 - self.width)
+        reg &= self._mask
+        for _ in range(8):
+            if reg & self._top:
+                reg = ((reg << 1) ^ self.poly) & self._mask
+            else:
+                reg = (reg << 1) & self._mask
+        return reg
+
+    def compute(self, data: bytes) -> int:
+        """CRC of a byte string."""
+        reg = 0
+        for byte in data:
+            if self.width >= 8:
+                index = ((reg >> (self.width - 8)) ^ byte) & 0xFF
+                reg = ((reg << 8) ^ self._table[index]) & self._mask
+            else:
+                for bit in range(8):
+                    incoming = (byte >> (7 - bit)) & 1
+                    msb = (reg >> (self.width - 1)) & 1
+                    reg = ((reg << 1) & self._mask)
+                    if msb ^ incoming:
+                        reg ^= self.poly
+        return reg
+
+    def compute_int(self, line: int, length: int = 64) -> int:
+        """CRC of a little-endian line integer."""
+        return self.compute(line.to_bytes(length, "little"))
+
+
+#: IEEE 802.3 polynomial, 32-bit.
+CRC32 = CRC(32, 0x04C11DB7)
+
+#: A 46-bit CRC sized like SafeGuard's SECDED MAC field, to make the
+#: CRC-vs-MAC comparison width-for-width fair in the ablation bench.
+CRC46 = CRC(46, 0x2030B9C7FF5 ^ 0x1)  # arbitrary odd generator

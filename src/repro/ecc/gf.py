@@ -1,0 +1,130 @@
+"""Galois-field GF(2^m) arithmetic.
+
+Log/antilog-table implementation supporting any ``m`` up to 16 with a
+standard primitive polynomial. :data:`GF16` (symbols of x4 DRAM chips) and
+:data:`GF256` are the instances used by the Chipkill codec and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Standard primitive polynomials (including the x^m term), indexed by m.
+PRIMITIVE_POLYS = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,  # x^4 + x + 1
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,  # x^8 + x^4 + x^3 + x^2 + 1 (the AES-adjacent 0x11D)
+    10: 0b10000001001,
+    12: 0b1000001010011,
+    16: 0b10001000000001011,
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with exp/log tables."""
+
+    def __init__(self, m: int, primitive_poly: int = None):
+        if primitive_poly is None:
+            try:
+                primitive_poly = PRIMITIVE_POLYS[m]
+            except KeyError:
+                raise ValueError(f"no default primitive polynomial for m={m}")
+        self.m = m
+        self.size = 1 << m
+        self.poly = primitive_poly
+        self.exp: List[int] = [0] * (2 * self.size)
+        self.log: List[int] = [0] * self.size
+        x = 1
+        for i in range(self.size - 1):
+            self.exp[i] = x
+            self.log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= primitive_poly
+        if x != 1:
+            raise ValueError("polynomial is not primitive for this field")
+        # Duplicate the exp table so products of logs index without mod.
+        for i in range(self.size - 1, 2 * self.size):
+            self.exp[i] = self.exp[i - (self.size - 1)]
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (= subtraction = XOR)."""
+        return a ^ b
+
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[self.log[a] + self.log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division; raises ZeroDivisionError on b == 0."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self.exp[self.log[a] - self.log[b] + self.size - 1]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse")
+        return self.exp[self.size - 1 - self.log[a]]
+
+    def pow(self, a: int, e: int) -> int:
+        """a**e in the field (e may be negative)."""
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise ZeroDivisionError("zero to a negative power")
+            return 0
+        exponent = (self.log[a] * e) % (self.size - 1)
+        return self.exp[exponent]
+
+    def alpha_pow(self, e: int) -> int:
+        """alpha**e for the primitive element alpha."""
+        return self.exp[e % (self.size - 1)]
+
+    # -- polynomial helpers (coefficient lists, index = degree) -------------
+
+    def poly_eval(self, coeffs: List[int], x: int) -> int:
+        """Evaluate a polynomial (Horner, highest degree last)."""
+        result = 0
+        for c in reversed(coeffs):
+            result = self.mul(result, x) ^ c
+        return result
+
+    def poly_mul(self, a: List[int], b: List[int]) -> List[int]:
+        """Polynomial product."""
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb:
+                    out[i + j] ^= self.mul(ca, cb)
+        return out
+
+    def poly_scale(self, a: List[int], s: int) -> List[int]:
+        """Polynomial times a scalar."""
+        return [self.mul(c, s) for c in a]
+
+    def poly_add(self, a: List[int], b: List[int]) -> List[int]:
+        """Polynomial sum."""
+        if len(a) < len(b):
+            a, b = b, a
+        out = list(a)
+        for i, c in enumerate(b):
+            out[i] ^= c
+        return out
+
+
+GF16 = GF2m(4)
+GF256 = GF2m(8)

@@ -1,0 +1,11 @@
+"""One module per paper table/figure (the per-experiment index of DESIGN.md).
+
+Each module exposes a ``run(...)`` returning a structured result and a
+``report(result)`` printing the same rows/series the paper presents. The
+``benchmarks/`` directory wraps these in pytest-benchmark entries; the
+recorded paper-vs-measured numbers live in EXPERIMENTS.md.
+"""
+
+from repro.experiments import reporting
+
+__all__ = ["reporting"]

@@ -1,0 +1,159 @@
+"""Experiment dispatcher: run any paper table/figure by name.
+
+Used by the CLI (``python -m repro <experiment>``) and handy from a REPL::
+
+    from repro.experiments.runner import run_experiment, EXPERIMENTS
+    run_experiment("fig6")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    fig1b_attacks,
+    fig1c_detection,
+    fig6_reliability_secded,
+    fig10_reliability_chipkill,
+    perf_figures,
+    sec4b_birthday,
+    sec4c_column_recovery,
+    sec7_security,
+    sec7e_mac_escape,
+    table1_thresholds,
+    table2_table3_config,
+    table4_resiliency,
+    table5_storage,
+)
+from repro.perf.model import PerfConfig
+
+
+def _table1() -> None:
+    table1_thresholds.report()
+
+
+def _table2() -> None:
+    table2_table3_config.report_table2()
+
+
+def _table3() -> None:
+    table2_table3_config.report_table3()
+
+
+def _table4() -> None:
+    table4_resiliency.report(table4_resiliency.run(trials=60))
+
+
+def _table5() -> None:
+    table5_storage.report()
+
+
+def _fig1b() -> None:
+    fig1b_attacks.report(fig1b_attacks.run())
+
+
+def _fig1c() -> None:
+    fig1c_detection.report(fig1c_detection.run())
+
+
+def _fig6() -> None:
+    fig6_reliability_secded.report(fig6_reliability_secded.run(n_modules=100_000))
+
+
+def _fig10() -> None:
+    fig10_reliability_chipkill.report(
+        fig10_reliability_chipkill.run(n_modules=50_000)
+    )
+
+
+_PERF_CONFIG = PerfConfig(instructions_per_core=150_000, warmup_instructions=40_000)
+_PERF_WORKLOADS = ["perlbench", "gcc", "mcf", "omnetpp", "leela", "bwaves", "lbm", "roms"]
+
+
+def _fig7() -> None:
+    perf_figures.report_per_workload(
+        perf_figures.run_fig7(workloads=_PERF_WORKLOADS, config=_PERF_CONFIG),
+        "Figure 7: SafeGuard vs. conventional ECC",
+    )
+
+
+def _fig12() -> None:
+    perf_figures.report_per_workload(
+        perf_figures.run_fig12(workloads=_PERF_WORKLOADS, config=_PERF_CONFIG),
+        "Figure 12: per-line MAC organizations",
+    )
+
+
+def _fig13() -> None:
+    perf_figures.report_fig13(
+        perf_figures.run_fig13(
+            latencies=(8, 40, 80),
+            workloads=["mcf", "omnetpp", "leela"],
+            config=_PERF_CONFIG,
+        )
+    )
+
+
+def _sec4b() -> None:
+    sec4b_birthday.report()
+
+
+def _sec4c() -> None:
+    sec4c_column_recovery.report()
+
+
+def _sec7() -> None:
+    sec7_security.report()
+
+
+def _sec7e() -> None:
+    sec7e_mac_escape.report()
+
+
+#: Experiment name -> runner. ``fig11`` aliases ``fig7`` (the SafeGuard
+#: data path is identical in both organizations; see perf_figures).
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "table5": _table5,
+    "fig1a": _table1,
+    "fig1b": _fig1b,
+    "fig1c": _fig1c,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig10": _fig10,
+    "fig11": _fig7,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "sec4b": _sec4b,
+    "sec4c": _sec4c,
+    "sec7": _sec7,
+    "sec7e": _sec7e,
+}
+
+
+def experiment_names() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str) -> None:
+    """Run one experiment by name; raises KeyError for unknown names."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(experiment_names())}"
+        ) from None
+    runner()
+
+
+def run_all() -> None:
+    """Run every experiment at interactive scale."""
+    seen = set()
+    for name, runner in EXPERIMENTS.items():
+        if runner in seen:
+            continue
+        seen.add(runner)
+        run_experiment(name)

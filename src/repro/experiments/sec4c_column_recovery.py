@@ -1,0 +1,89 @@
+"""Section IV-C: iterative column recovery cost and the eager shortcut.
+
+Measures, on the real SafeGuard-SECDED data path, the number of MAC
+verifications and recovery iterations for: (a) a first-time transient pin
+failure (up to 64 candidates), (b) repeat reads under a permanent pin
+failure once the failing column is remembered (candidate tried first),
+and (c) steady state after the eager threshold (the initial MAC check is
+skipped; one verification total — the paper's "latency overhead remains
+approximately one MAC check").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import SafeGuardConfig
+from repro.core.secded import SafeGuardSECDED
+from repro.core.types import ReadStatus
+from repro.experiments.reporting import format_table, print_banner
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class RecoveryPoint:
+    phase: str
+    mac_checks: int
+    iterations: int
+    latency_cycles: int
+    status: str
+
+
+def run(pin: int = 29, reads: int = 8, seed: int = 9) -> List[RecoveryPoint]:
+    rng = make_rng(seed)
+    controller = SafeGuardSECDED(SafeGuardConfig(key=b"sec4c-demo-key!!"))
+    golden = bytes(rng.getrandbits(8) for _ in range(64))
+    points: List[RecoveryPoint] = []
+
+    # (a) First-time (transient) pin failure: full iterative search.
+    controller.write(0x40, golden)
+    controller.inject_pin_failure(0x40, pin, 0b10110101)
+    result = controller.read(0x40)
+    points.append(
+        RecoveryPoint(
+            "first recovery (unknown column)",
+            result.costs.mac_checks,
+            result.costs.correction_iterations,
+            result.costs.latency_cycles,
+            result.status.value,
+        )
+    )
+
+    # (b)/(c) Permanent pin failure: every read of every line sees the
+    # same broken pin; the remembered column short-circuits, and after a
+    # few hits the initial MAC check is skipped (eager).
+    for i in range(reads):
+        address = 0x1000 + 64 * i
+        controller.write(address, golden)
+        controller.inject_pin_failure(address, pin, rng.randrange(1, 256))
+        result = controller.read(address)
+        phase = "remembered column" if result.costs.mac_checks > 1 else "eager (steady state)"
+        points.append(
+            RecoveryPoint(
+                f"read {i + 1}: {phase}",
+                result.costs.mac_checks,
+                result.costs.correction_iterations,
+                result.costs.latency_cycles,
+                result.status.value,
+            )
+        )
+    return points
+
+
+def report(points: List[RecoveryPoint] = None) -> str:
+    points = points or run()
+    print_banner("Section IV-C: iterative column recovery (measured data path)")
+    table = format_table(
+        ["Phase", "MAC checks", "Iterations", "Added cycles", "Status"],
+        [
+            (p.phase, p.mac_checks, p.iterations, p.latency_cycles, p.status)
+            for p in points
+        ],
+    )
+    print(table)
+    print(
+        "\nSteady state under a permanent column failure costs one MAC check "
+        "plus a one-cycle parity reconstruction, as Section IV-C argues."
+    )
+    return table

@@ -1,0 +1,30 @@
+"""Table V: DRAM storage overhead of the MAC organizations."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.analysis import StorageRow, storage_overhead_table
+from repro.experiments.reporting import format_table, print_banner
+
+
+def run(capacities_gb=(16, 64, 256)) -> List[StorageRow]:
+    return storage_overhead_table(capacities_gb)
+
+
+def report(rows: List[StorageRow] = None) -> str:
+    rows = rows or run()
+    print_banner("Table V: usable memory capacity (baseline = ECC DIMM)")
+    table = format_table(
+        ["Baseline memory", "SGX/Synergy-style MAC", "SafeGuard"],
+        [
+            (
+                f"{r.baseline_gb}GB",
+                f"{r.sgx_synergy_usable_gb:g}GB ({r.sgx_synergy_loss_gb:g}GB loss)",
+                f"{r.safeguard_usable_gb:g}GB",
+            )
+            for r in rows
+        ],
+    )
+    print(table)
+    return table

@@ -1,0 +1,13 @@
+"""Message-authentication-code substrate.
+
+The paper computes a fast per-line MAC by concurrently encrypting each of
+the eight 64-bit words of a cache line with a low-latency cipher (QARMA in
+the paper; SPECK-64/128 here — see DESIGN.md §4) and XORing the eight
+ciphertexts into a 64-bit MAC, of which the least-significant ``n`` bits
+are stored (54/46 bits for the SECDED organizations, 32 for Chipkill).
+"""
+
+from repro.mac.speck import Speck64
+from repro.mac.linemac import LineMAC
+
+__all__ = ["Speck64", "LineMAC"]

@@ -1,0 +1,27 @@
+"""Performance-evaluation harness (Figures 7, 11, 12, 13).
+
+Combines the trace-driven system simulator with per-organization access
+overheads and reports normalized performance versus the conventional-ECC
+baseline, exactly the quantity the paper's performance figures plot.
+"""
+
+from repro.perf.organizations import (
+    PerfOrganization,
+    BASELINE_ECC,
+    safeguard,
+    sgx_style,
+    synergy_style,
+)
+from repro.perf.model import PerfConfig, WorkloadResult, run_workload, run_comparison
+
+__all__ = [
+    "PerfOrganization",
+    "BASELINE_ECC",
+    "safeguard",
+    "sgx_style",
+    "synergy_style",
+    "PerfConfig",
+    "WorkloadResult",
+    "run_workload",
+    "run_comparison",
+]

@@ -1,0 +1,73 @@
+"""Access-pattern descriptors for each memory organization.
+
+The paper's performance differences between organizations come from
+exactly three mechanisms, each captured by one field here:
+
+- ``read_tail_cpu_cycles`` — the MAC check on the read critical path
+  (SafeGuard, Synergy, SGX all pay this; conventional ECC does not).
+- ``extra_read_per_read`` — SGX-style MACs live in a separate region, so
+  every memory read issues a second, concurrent read for the MAC line.
+- ``extra_write_per_writeback`` — SGX-style MACs and Synergy-style parity
+  must be updated on every writeback: a second write access.
+
+SafeGuard keeps all metadata in the ECC bits of the same burst: no extra
+accesses, only the MAC-check tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Separate metadata region placed far above any workload footprint so it
+#: maps to distinct DRAM rows (as a real carve-out would).
+_METADATA_REGION_BASE = 1 << 44
+
+
+@dataclass(frozen=True)
+class PerfOrganization:
+    """What an organization costs per memory access."""
+
+    name: str
+    read_tail_cpu_cycles: int = 0
+    extra_read_per_read: bool = False
+    extra_write_per_writeback: bool = False
+
+    def metadata_address(self, address: int) -> int:
+        """Address of the MAC/parity line covering a data line.
+
+        One 64-byte metadata line covers eight data lines (8 bytes of
+        MAC/parity each), the standard packing for both SGX-style MAC and
+        Synergy-style parity regions.
+        """
+        return _METADATA_REGION_BASE + ((address >> 9) << 6)
+
+
+#: Conventional SECDED or Chipkill: ECC checked inline, no MAC.
+BASELINE_ECC = PerfOrganization(name="baseline-ecc")
+
+
+def safeguard(mac_latency_cycles: int = 8) -> PerfOrganization:
+    """SafeGuard (either organization): MAC tail only (Section IV-E/V-F)."""
+    return PerfOrganization(
+        name=f"safeguard(mac={mac_latency_cycles})",
+        read_tail_cpu_cycles=mac_latency_cycles,
+    )
+
+
+def sgx_style(mac_latency_cycles: int = 8) -> PerfOrganization:
+    """SGX-style MAC: separate region, extra read and extra write."""
+    return PerfOrganization(
+        name=f"sgx-style(mac={mac_latency_cycles})",
+        read_tail_cpu_cycles=mac_latency_cycles,
+        extra_read_per_read=True,
+        extra_write_per_writeback=True,
+    )
+
+
+def synergy_style(mac_latency_cycles: int = 8) -> PerfOrganization:
+    """Synergy-style MAC: MAC rides the ECC chip, parity write elsewhere."""
+    return PerfOrganization(
+        name=f"synergy-style(mac={mac_latency_cycles})",
+        read_tail_cpu_cycles=mac_latency_cycles,
+        extra_write_per_writeback=True,
+    )

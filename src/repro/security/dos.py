@@ -1,0 +1,107 @@
+"""Denial-of-service accounting for DUEs (Section VII-B).
+
+SafeGuard turns breakthrough Row-Hammer into detected uncorrectable
+errors; an adversary who can cause failures persistently could try to
+weaponize the *response* (process restarts, machine reboots) as a DoS.
+The paper's position: (1) without SafeGuard the same adversary mounts far
+worse attacks, and (2) persistent failures are attributable — the system
+can identify and quarantine the offending process [10], [33].
+
+:class:`DUEMonitor` is that attribution mechanism: it maintains
+exponentially decayed DUE rates per address region (or per process) and
+escalates from ``healthy`` to ``degraded`` (relocate/restart) to
+``malicious`` (quarantine) as the rate crosses thresholds. Naturally
+occurring DUEs are rare events (Figure 6: ~1e-2 per module over 7
+*years*), so even a conservative threshold separates attacks cleanly.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class RegionVerdict(enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"  #: restart / relocate the affected process
+    MALICIOUS = "malicious"  #: quarantine: sustained, attributable DUEs
+
+
+@dataclass
+class _RegionState:
+    decayed_rate: float = 0.0  #: DUEs per hour, exponentially decayed
+    last_time_hours: float = 0.0
+    total_dues: int = 0
+
+
+class DUEMonitor:
+    """Per-region DUE-rate tracking with exponential decay.
+
+    Parameters
+    ----------
+    region_bytes:
+        Attribution granularity (e.g. 2MB ~ a huge page / process arena).
+    half_life_hours:
+        Decay half-life of the rate estimate.
+    degraded_rate, malicious_rate:
+        DUEs-per-hour thresholds for the two escalations. The natural DUE
+        rate of a healthy module is ~1e-6/hour, so defaults of 1/hour and
+        30/hour are conservative by many orders of magnitude.
+    """
+
+    def __init__(
+        self,
+        region_bytes: int = 2 * 1024 * 1024,
+        half_life_hours: float = 1.0,
+        degraded_rate: float = 3.0,
+        malicious_rate: float = 30.0,
+    ):
+        if region_bytes <= 0:
+            raise ValueError("region_bytes must be positive")
+        self.region_bytes = region_bytes
+        self.half_life_hours = half_life_hours
+        self.degraded_rate = degraded_rate
+        self.malicious_rate = malicious_rate
+        self._regions: Dict[int, _RegionState] = {}
+
+    # -- event ingestion ---------------------------------------------------------
+
+    def record_due(self, address: int, time_hours: float) -> RegionVerdict:
+        """Record one DUE; returns the region's current verdict."""
+        region = address // self.region_bytes
+        state = self._regions.setdefault(region, _RegionState())
+        state.decayed_rate = self._decay(state, time_hours) + 1.0 / max(
+            self.half_life_hours, 1e-9
+        )
+        state.last_time_hours = time_hours
+        state.total_dues += 1
+        return self.verdict(address, time_hours)
+
+    def verdict(self, address: int, time_hours: float) -> RegionVerdict:
+        """The verdict for an address's region at a point in time."""
+        state = self._regions.get(address // self.region_bytes)
+        if state is None:
+            return RegionVerdict.HEALTHY
+        rate = self._decay(state, time_hours)
+        if rate >= self.malicious_rate:
+            return RegionVerdict.MALICIOUS
+        if rate >= self.degraded_rate:
+            return RegionVerdict.DEGRADED
+        return RegionVerdict.HEALTHY
+
+    def flagged_regions(self, time_hours: float) -> Dict[int, RegionVerdict]:
+        """All regions currently above HEALTHY."""
+        out = {}
+        for region, state in self._regions.items():
+            verdict = self.verdict(region * self.region_bytes, time_hours)
+            if verdict is not RegionVerdict.HEALTHY:
+                out[region] = verdict
+        return out
+
+    # -- internals -----------------------------------------------------------------
+
+    def _decay(self, state: _RegionState, time_hours: float) -> float:
+        dt = max(0.0, time_hours - state.last_time_hours)
+        return state.decayed_rate * math.pow(0.5, dt / self.half_life_hours)

@@ -1,0 +1,38 @@
+"""Deterministic RNG plumbing.
+
+Every stochastic component in the repository (fault injection, Monte-Carlo
+reliability simulation, synthetic trace generation, probabilistic RH
+mitigation) takes an explicit ``random.Random`` or numpy ``Generator`` so
+experiments are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed: int) -> random.Random:
+    """A seeded stdlib RNG."""
+    return random.Random(seed)
+
+
+def make_np_rng(seed: int) -> np.random.Generator:
+    """A seeded numpy RNG (used by the vectorized Monte-Carlo simulator)."""
+    return np.random.default_rng(seed)
+
+
+def derive_seed(seed: int, *salts: int) -> int:
+    """Derive an independent child seed from a parent seed and salt values.
+
+    Uses splitmix64-style mixing so that nearby parent seeds do not produce
+    correlated child streams.
+    """
+    state = seed & 0xFFFFFFFFFFFFFFFF
+    for salt in salts:
+        state = (state + 0x9E3779B97F4A7C15 + (salt & 0xFFFFFFFFFFFFFFFF)) & 0xFFFFFFFFFFFFFFFF
+        state = ((state ^ (state >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        state = ((state ^ (state >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        state = state ^ (state >> 31)
+    return state

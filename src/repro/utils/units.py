@@ -1,0 +1,31 @@
+"""Unit constants shared by the reliability and performance models."""
+
+HOURS_PER_YEAR = 24 * 365
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_YEAR = HOURS_PER_YEAR * SECONDS_PER_HOUR
+
+#: 1 FIT = one failure per billion device-hours.
+FIT_HOURS = 1e9
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: DRAM refresh period assumed throughout the paper (Section II-B).
+REFRESH_PERIOD_MS = 64.0
+REFRESH_PERIOD_S = REFRESH_PERIOD_MS / 1e3
+
+
+def fit_to_lambda_per_hour(fit: float) -> float:
+    """FIT rate -> Poisson arrival rate in events per device-hour."""
+    return fit / FIT_HOURS
+
+
+def fit_to_lambda_per_second(fit: float) -> float:
+    """FIT rate -> Poisson arrival rate in events per device-second."""
+    return fit / FIT_HOURS / SECONDS_PER_HOUR
+
+
+def years_to_hours(years: float) -> float:
+    """Calendar years -> hours."""
+    return years * HOURS_PER_YEAR

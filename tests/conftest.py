@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core.config import SafeGuardConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG, fresh per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def key():
+    """A 16-byte MAC key."""
+    return b"unit-test-key-16"
+
+
+@pytest.fixture
+def config(key):
+    """Default SafeGuard configuration with the test key."""
+    return SafeGuardConfig(key=key)
+
+
+@pytest.fixture
+def line(rng):
+    """One random 64-byte cache line."""
+    return bytes(rng.getrandbits(8) for _ in range(64))
+
+
+def make_line(rng):
+    return bytes(rng.getrandbits(8) for _ in range(64))

@@ -1,0 +1,158 @@
+"""Tests for the cache, prefetcher, and hierarchy."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetcher import StreamPrefetcher
+from repro.perf.organizations import BASELINE_ECC, sgx_style, synergy_style
+
+
+class TestCache:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Cache(1000, 4)
+
+    def test_hit_after_fill(self):
+        cache = Cache(32 * 1024, 4)
+        assert not cache.lookup(5)
+        cache.fill(5)
+        assert cache.lookup(5)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = Cache(4 * 64, 4, line_bytes=64)  # one set, 4 ways
+        for line in range(4):
+            cache.fill(line * cache.n_sets)
+        cache.lookup(0)  # refresh line 0
+        victim = cache.fill(4 * cache.n_sets)
+        assert victim is not None
+        assert victim[0] == 1 * cache.n_sets  # line 1 was LRU
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = Cache(4 * 64, 4)
+        cache.fill(0, dirty=True)
+        for line in range(1, 5):
+            cache.fill(line * cache.n_sets)
+        assert cache.stats.writebacks == 1
+
+    def test_write_marks_dirty(self):
+        cache = Cache(32 * 1024, 4)
+        cache.fill(7)
+        cache.lookup(7, is_write=True)
+        assert cache.invalidate(7) is True
+
+    def test_invalidate_missing_returns_none(self):
+        cache = Cache(32 * 1024, 4)
+        assert cache.invalidate(99) is None
+
+    def test_refill_does_not_double_count(self):
+        cache = Cache(4 * 64, 4)
+        cache.fill(0)
+        cache.fill(0)
+        assert cache.stats.evictions == 0
+
+
+class TestStreamPrefetcher:
+    def test_trains_on_ascending_stream(self):
+        pf = StreamPrefetcher(degree=2)
+        issued = []
+        for line in range(100, 110):
+            issued.extend(pf.observe(line))
+        assert issued  # trained and prefetching
+        assert all(p > 100 for p in issued)
+
+    def test_ignores_random_accesses(self):
+        pf = StreamPrefetcher()
+        issued = []
+        for line in [5, 900, 33, 12000, 7, 4500]:
+            issued.extend(pf.observe(line))
+        assert issued == []
+
+    def test_does_not_cross_pages(self):
+        pf = StreamPrefetcher(degree=4)
+        issued = []
+        for line in range(60, 64):  # approaching a 64-line page boundary
+            issued.extend(pf.observe(line))
+        assert all(p // 64 == 0 for p in issued)
+
+    def test_stream_table_bounded(self):
+        pf = StreamPrefetcher(n_streams=4)
+        for page in range(100):
+            pf.observe(page * 64)
+        assert len(pf._streams) <= 4
+
+
+class TestHierarchy:
+    def test_l1_hit_is_cheap(self):
+        h = CacheHierarchy(1, BASELINE_ECC)
+        h.access(0, 0x1000, False, 0.0)  # miss, fills
+        outcome = h.access(0, 0x1000, False, 1000.0)
+        assert outcome.level == "l1"
+        assert outcome.latency_cpu == CacheHierarchy.L1_HIT_CYCLES
+
+    def test_llc_hit_level(self):
+        h = CacheHierarchy(2, BASELINE_ECC)
+        h.access(0, 0x2000, False, 0.0)  # core 0 brings it in
+        outcome = h.access(1, 0x2000, False, 1000.0)  # core 1: L1 miss, LLC hit
+        assert outcome.level == "llc"
+
+    def test_dram_miss_latency_exceeds_llc(self):
+        h = CacheHierarchy(1, BASELINE_ECC)
+        outcome = h.access(0, 0x3000, False, 0.0)
+        assert outcome.level == "dram"
+        assert outcome.latency_cpu > CacheHierarchy.LLC_HIT_CYCLES
+
+    def test_organization_tail_latency_applied(self):
+        base = CacheHierarchy(1, BASELINE_ECC)
+        sg = CacheHierarchy(1, __import__("repro.perf.organizations", fromlist=["safeguard"]).safeguard(8))
+        lat_base = base.access(0, 0x3000, False, 0.0).latency_cpu
+        lat_sg = sg.access(0, 0x3000, False, 0.0).latency_cpu
+        assert lat_sg == pytest.approx(lat_base + 8)
+
+    def test_sgx_issues_extra_reads(self):
+        h = CacheHierarchy(1, sgx_style(8))
+        h.access(0, 0x4000, False, 0.0)
+        assert h.dram_reads == 2  # data + MAC line
+
+    def test_sgx_coalesces_inflight_meta(self):
+        h = CacheHierarchy(1, sgx_style(8), enable_prefetch=False)
+        # 8 consecutive lines share one MAC line; fetched close together
+        # the MAC read coalesces with the in-flight fetch.
+        for i in range(8):
+            h.access(0, 0x8000 + 64 * i, False, float(i))
+        assert h.dram_reads < 16
+        assert h.dram_reads >= 9  # 8 data + at least one MAC line
+
+    def test_synergy_extra_write_on_writeback(self):
+        h = CacheHierarchy(1, synergy_style(8), l1_kb=32, llc_mb=4)
+        # Dirty a line, then evict it by filling its LLC set.
+        target = 0x10000
+        h.access(0, target, True, 0.0)
+        line = target // 64
+        # The L1 dirty-writeback refreshes the line's LLC LRU slot, so
+        # overfill the set comfortably to force its eviction.
+        candidate = line
+        for i in range(h.llc.ways + 8):
+            candidate += h.llc.n_sets
+            h.access(0, candidate * 64, False, 100.0 + i)
+        assert h.dram_writes >= 2  # data writeback + parity update
+
+    def test_inclusive_back_invalidation(self):
+        h = CacheHierarchy(1, BASELINE_ECC)
+        target = 0x20000
+        h.access(0, target, False, 0.0)
+        line = target // 64
+        # Evict from LLC by filling the set; L1 copy must go too.
+        candidate = line
+        for i in range(h.llc.ways + 1):
+            candidate += h.llc.n_sets
+            h._fill_llc(candidate, 0.0)
+        assert not h.l1[0].contains(line)
+
+    def test_prime_installs_without_traffic(self):
+        h = CacheHierarchy(1, BASELINE_ECC)
+        h.prime(0x5000)
+        assert h.dram_reads == 0
+        outcome = h.access(0, 0x5000, False, 0.0)
+        assert outcome.level == "llc"

@@ -1,0 +1,52 @@
+"""Tests for the experiment dispatcher and CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.runner import EXPERIMENTS, experiment_names, run_experiment
+
+
+class TestRunner:
+    def test_all_paper_artifacts_registered(self):
+        names = set(experiment_names())
+        for required in (
+            "table1", "table2", "table3", "table4", "table5",
+            "fig1a", "fig1b", "fig1c", "fig6", "fig7", "fig10",
+            "fig11", "fig12", "fig13", "sec4b", "sec4c", "sec7", "sec7e",
+        ):
+            assert required in names
+
+    def test_fig11_aliases_fig7(self):
+        assert EXPERIMENTS["fig11"] is EXPERIMENTS["fig7"]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_cheap_experiment_runs(self, capsys):
+        run_experiment("table5")
+        assert "SafeGuard" in capsys.readouterr().out
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table4" in out
+
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "Experiments:" in capsys.readouterr().out
+
+    def test_run_one(self, capsys):
+        assert main(["table1"]) == 0
+        assert "139,000" in capsys.readouterr().out
+
+    def test_unknown_returns_error(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sec7_runs(self, capsys):
+        assert main(["sec7"]) == 0
+        out = capsys.readouterr().out
+        assert "RAMBleed" in out

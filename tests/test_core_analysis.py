@@ -1,0 +1,91 @@
+"""Tests for the analytic reproductions (Sections IV-B, V-C, VII-E, Table V)."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    birthday_analysis,
+    chip_failure_escape_time,
+    controller_sram_overhead_bytes,
+    mac_escape_analysis,
+    storage_overhead_table,
+)
+from repro.utils import units
+
+
+class TestBirthday:
+    def test_paper_64gb_example(self):
+        analysis = birthday_analysis(memory_bytes=64 * units.GB)
+        assert analysis.n_lines == 1 << 30
+        assert analysis.faults_for_collision == pytest.approx(32768, rel=0.01)
+        # Paper: ~3.5e-5 (they round 1/32K); we compute 7/8 * 2^-15.
+        assert analysis.p_secded_superior == pytest.approx(
+            (7 / 8) / 32768, rel=1e-6
+        )
+
+    def test_millennia_until_two_faults(self):
+        analysis = birthday_analysis()
+        assert analysis.years_to_two_faults > 1000  # the paper's point
+
+    def test_scales_with_memory_size(self):
+        small = birthday_analysis(memory_bytes=16 * units.GB)
+        large = birthday_analysis(memory_bytes=256 * units.GB)
+        assert large.p_same_line < small.p_same_line
+
+
+class TestMacEscape:
+    def test_secded_46_bit_over_1000_years(self):
+        analysis = mac_escape_analysis(46, checks_per_fault=1.0)
+        assert analysis.expected_years_to_escape > 1000  # "1000+ years"
+
+    def test_chipkill_iterative_about_6_months(self):
+        analysis = mac_escape_analysis(32, checks_per_fault=18.0)
+        months = analysis.expected_years_to_escape * 12
+        assert 3 < months < 12  # "within 6 months"
+
+    def test_eager_about_9_years(self):
+        analysis = mac_escape_analysis(32, checks_per_fault=1.0)
+        assert analysis.expected_years_to_escape == pytest.approx(8.7, rel=0.05)
+
+    def test_eager_is_18x_iterative(self):
+        iterative = mac_escape_analysis(32, checks_per_fault=18.0)
+        eager = mac_escape_analysis(32, checks_per_fault=1.0)
+        ratio = eager.expected_seconds_to_escape / iterative.expected_seconds_to_escape
+        assert ratio == pytest.approx(18.0)
+
+    def test_each_extra_bit_doubles_time(self):
+        a = mac_escape_analysis(32)
+        b = mac_escape_analysis(33)
+        assert b.expected_seconds_to_escape == pytest.approx(
+            2 * a.expected_seconds_to_escape
+        )
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            mac_escape_analysis(0)
+
+    def test_chip_failure_escape_under_a_minute(self):
+        assert chip_failure_escape_time() < 60  # Section V-C
+
+
+class TestStorage:
+    def test_table5_rows(self):
+        rows = storage_overhead_table()
+        assert [r.baseline_gb for r in rows] == [16, 64, 256]
+        assert [r.sgx_synergy_loss_gb for r in rows] == [2.0, 8.0, 32.0]
+        assert all(r.safeguard_usable_gb == r.baseline_gb for r in rows)
+
+    def test_custom_capacities(self):
+        rows = storage_overhead_table([128])
+        assert rows[0].sgx_synergy_usable_gb == 112.0
+
+
+class TestSramOverhead:
+    def test_under_32_bytes(self):
+        for org in ("secded", "chipkill"):
+            assert sum(controller_sram_overhead_bytes(org).values()) < 32
+
+    def test_unknown_org_rejected(self):
+        with pytest.raises(ValueError):
+            controller_sram_overhead_bytes("tmr")

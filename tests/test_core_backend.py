@@ -1,0 +1,105 @@
+"""Tests for the memory backend and spare-line buffer."""
+
+import pytest
+
+from repro.core.backend import MemoryBackend
+from repro.core.spare import SpareLineBuffer
+
+
+class TestMemoryBackend:
+    def test_store_load_roundtrip(self):
+        backend = MemoryBackend()
+        backend.store(0x40, 123, 456, b"\x01" * 64)
+        entry = backend.load(0x40)
+        assert entry.data == 123
+        assert entry.meta == 456
+
+    def test_alignment_enforced(self):
+        backend = MemoryBackend()
+        with pytest.raises(ValueError):
+            backend.store(0x41, 0, 0, b"\x00" * 64)
+        with pytest.raises(ValueError):
+            backend.load(0x33)
+
+    def test_unwritten_address_raises(self):
+        with pytest.raises(KeyError):
+            MemoryBackend().load(0x40)
+
+    def test_inject_data_bits(self):
+        backend = MemoryBackend()
+        backend.store(0, 0, 0, b"\x00" * 64)
+        backend.inject_data_bits(0, 0b101)
+        assert backend.load(0).data == 0b101
+        backend.inject_data_bits(0, 0b101)  # XOR semantics
+        assert backend.load(0).data == 0
+
+    def test_inject_meta_bits_masked_to_64(self):
+        backend = MemoryBackend()
+        backend.store(0, 0, 0, b"\x00" * 64)
+        backend.inject_meta_bits(0, (1 << 70) | 1)
+        assert backend.load(0).meta == 1
+
+    def test_inject_bit_routes_to_data_or_meta(self):
+        backend = MemoryBackend()
+        backend.store(0, 0, 0, b"\x00" * 64)
+        backend.inject_bit(0, 511)
+        assert backend.load(0).data == 1 << 511
+        backend.inject_bit(0, 512)
+        assert backend.load(0).meta == 1
+
+    def test_golden_tracking(self):
+        backend = MemoryBackend()
+        backend.store(0, 7, 0, b"\xAA" * 64)
+        assert backend.golden(0) == b"\xAA" * 64
+        assert backend.golden(0x40) is None
+
+    def test_silent_corruption_classification(self):
+        backend = MemoryBackend()
+        backend.store(0, 7, 0, b"\xAA" * 64)
+        assert backend.is_silent_corruption(0, b"\xBB" * 64, due=False)
+        assert not backend.is_silent_corruption(0, b"\xBB" * 64, due=True)
+        assert not backend.is_silent_corruption(0, b"\xAA" * 64, due=False)
+
+    def test_len_and_contains(self):
+        backend = MemoryBackend()
+        backend.store(0, 0, 0, b"\x00" * 64)
+        backend.store(0x40, 0, 0, b"\x00" * 64)
+        assert len(backend) == 2
+        assert backend.contains(0x40)
+        assert not backend.contains(0x80)
+        assert set(backend.addresses()) == {0, 0x40}
+
+
+class TestSpareLineBuffer:
+    def test_insert_and_lookup(self):
+        spares = SpareLineBuffer(2)
+        spares.insert(0x40, b"a" * 64)
+        assert spares.lookup(0x40) == b"a" * 64
+        assert spares.lookup(0x80) is None
+
+    def test_lru_eviction(self):
+        spares = SpareLineBuffer(2)
+        spares.insert(0x40, b"a" * 64)
+        spares.insert(0x80, b"b" * 64)
+        spares.lookup(0x40)  # refresh 0x40
+        spares.insert(0xC0, b"c" * 64)  # evicts 0x80
+        assert 0x40 in spares
+        assert 0x80 not in spares
+        assert 0xC0 in spares
+
+    def test_capacity_zero_disables(self):
+        spares = SpareLineBuffer(0)
+        spares.insert(0x40, b"a" * 64)
+        assert len(spares) == 0
+
+    def test_invalidate_on_write(self):
+        spares = SpareLineBuffer(4)
+        spares.insert(0x40, b"a" * 64)
+        spares.invalidate(0x40)
+        assert spares.lookup(0x40) is None
+
+    def test_negative_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SpareLineBuffer(-1)

@@ -1,0 +1,150 @@
+"""Tests for the trace generator, core model, and system co-simulation."""
+
+import pytest
+
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.system import System
+from repro.cpu.trace import MemOp, TraceGenerator
+from repro.cpu.workloads import SPEC2017_PROFILES, WorkloadProfile, profile, workload_names
+from repro.perf.organizations import BASELINE_ECC, safeguard
+
+
+class TestWorkloadProfiles:
+    def test_all_profiles_well_formed(self):
+        for p in SPEC2017_PROFILES:
+            total = p.hot_fraction + p.warm_fraction + p.stream_fraction + p.random_fraction
+            assert total == pytest.approx(1.0)
+            assert 0 < p.mem_ratio < 1
+            assert 0 <= p.serializing_fraction <= 1
+
+    def test_lookup(self):
+        assert profile("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            profile("doom3")
+
+    def test_names_cover_17_workloads(self):
+        assert len(workload_names()) == 17
+
+    def test_memory_character_ordering(self):
+        """mcf and lbm are memory monsters; exchange2 is compute-bound."""
+        assert profile("mcf").approx_read_mpki > 15
+        assert profile("lbm").approx_read_mpki > 15
+        assert profile("exchange2").approx_read_mpki < 0.2
+
+    def test_fraction_sum_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", 0.3, 0.2, 0.5, 0.5, 0.5, 0.5, 64, 0.1)
+
+
+class TestTraceGenerator:
+    def test_covers_instruction_quota(self):
+        gen = TraceGenerator(profile("mcf"), core=0, seed=1)
+        ops = list(gen.ops(50_000))
+        covered = sum(op.nonmem_before + 1 for op in ops)
+        assert covered >= 50_000
+
+    def test_deterministic_per_seed(self):
+        a = list(TraceGenerator(profile("gcc"), 0, seed=3).ops(10_000))
+        b = list(TraceGenerator(profile("gcc"), 0, seed=3).ops(10_000))
+        assert a == b
+
+    def test_cores_get_disjoint_ranges(self):
+        a = list(TraceGenerator(profile("gcc"), 0, seed=3).ops(10_000))
+        b = list(TraceGenerator(profile("gcc"), 1, seed=3).ops(10_000))
+        addrs_a = {op.address for op in a}
+        addrs_b = {op.address for op in b}
+        assert not addrs_a & addrs_b
+
+    def test_compute_bound_emits_few_ops(self):
+        light = len(list(TraceGenerator(profile("exchange2"), 0, 1).ops(50_000)))
+        heavy = len(list(TraceGenerator(profile("lbm"), 0, 1).ops(50_000)))
+        assert light < heavy / 5
+
+    def test_serializing_only_on_loads(self):
+        for op in TraceGenerator(profile("omnetpp"), 0, 1).ops(50_000):
+            if op.is_write:
+                assert not op.serializing
+
+    def test_warm_addresses_within_region(self):
+        gen = TraceGenerator(profile("gcc"), 2, seed=1)
+        addresses = list(gen.warm_region_addresses())
+        assert len(addresses) == gen.WARM_BYTES // 64
+        base = 2 * (1 << 34)
+        assert all(base <= a < base + gen.WARM_BYTES for a in addresses)
+
+
+class TestCore:
+    @staticmethod
+    def _ops(ops_list):
+        return iter(ops_list)
+
+    def test_nonmem_advances_by_base_cpi(self):
+        core = Core(0, self._ops([MemOp(600, False, 0, False)]),
+                    CoreConfig(base_cpi=0.5))
+        core.next_op()
+        assert core.time == pytest.approx(300.0)
+        assert core.instructions == 601
+
+    def test_serializing_load_blocks_dispatch(self):
+        core = Core(0, self._ops([MemOp(0, False, 0, True)]), CoreConfig(base_cpi=0.5))
+        op = core.next_op()
+        core.complete_op(op, 200.0)
+        assert core.time >= 200.0
+
+    def test_independent_loads_overlap(self):
+        ops = [MemOp(0, False, 64 * i, False) for i in range(10)]
+        core = Core(0, self._ops(ops), CoreConfig(base_cpi=0.5))
+        while True:
+            op = core.next_op()
+            if op is None:
+                break
+            core.complete_op(op, 200.0)
+        # 10 loads x 200 cycles fully overlapped: far less than serial.
+        assert core.time < 200.0
+
+    def test_rob_limit_caps_overlap(self):
+        config = CoreConfig(rob_entries=224, base_cpi=0.5)
+        ops = [MemOp(223, False, 64 * i, False) for i in range(8)]
+        core = Core(0, self._ops(ops), config)
+        while True:
+            op = core.next_op()
+            if op is None:
+                break
+            core.complete_op(op, 1000.0)
+        # Each load is ~224 instructions apart: the window fits barely one
+        # outstanding load, so misses serialize.
+        assert core.time > 3000.0
+
+    def test_finished_flag(self):
+        core = Core(0, self._ops([]), CoreConfig())
+        assert core.next_op() is None
+        assert core.finished
+
+
+class TestSystem:
+    def test_run_returns_sane_result(self):
+        system = System(profile("gcc"), BASELINE_ECC, n_cores=2, seed=1)
+        result = system.run(20_000, warmup_instructions=5_000)
+        assert result.n_cores == 2
+        assert all(c > 0 for c in result.core_cycles)
+        assert 0 < result.aggregate_ipc < 12  # 2 cores x 6-wide bound
+
+    def test_deterministic(self):
+        a = System(profile("gcc"), BASELINE_ECC, n_cores=2, seed=5).run(20_000)
+        b = System(profile("gcc"), BASELINE_ECC, n_cores=2, seed=5).run(20_000)
+        assert a.total_cycles == b.total_cycles
+
+    def test_safeguard_not_faster_than_baseline(self):
+        base = System(profile("omnetpp"), BASELINE_ECC, n_cores=2, seed=2).run(30_000)
+        sg = System(profile("omnetpp"), safeguard(8), n_cores=2, seed=2).run(30_000)
+        assert sg.total_cycles >= base.total_cycles
+
+    def test_speedup_over(self):
+        base = System(profile("mcf"), BASELINE_ECC, n_cores=1, seed=2).run(20_000)
+        slow = System(profile("mcf"), safeguard(80), n_cores=1, seed=2).run(20_000)
+        assert slow.speedup_over(base) < 1.0
+
+    def test_memory_bound_has_low_ipc(self):
+        heavy = System(profile("mcf"), BASELINE_ECC, n_cores=4, seed=1).run(20_000)
+        light = System(profile("exchange2"), BASELINE_ECC, n_cores=4, seed=1).run(20_000)
+        assert heavy.aggregate_ipc < light.aggregate_ipc

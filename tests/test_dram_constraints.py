@@ -1,0 +1,62 @@
+"""Tests for activation-rate constraints (tRRD/tFAW) and derived budgets."""
+
+import pytest
+
+from repro.dram.controller import MemoryController
+from repro.dram.timing import (
+    DDR4_3200,
+    max_activations_per_refresh_window,
+)
+
+
+class TestTimingDerivations:
+    def test_trc(self):
+        assert DDR4_3200.tRC == DDR4_3200.tRAS + DDR4_3200.tRP == 74
+
+    def test_activation_budget_matches_paper_scale(self):
+        """~1.4M activations per 64ms window at DDR4-3200 (the hammer
+        budget the Row-Hammer literature quotes)."""
+        budget = max_activations_per_refresh_window()
+        assert 1_200_000 < budget < 1_500_000
+
+    def test_budget_scales_with_window(self):
+        full = max_activations_per_refresh_window(window_ms=64.0)
+        half = max_activations_per_refresh_window(window_ms=32.0)
+        assert abs(half * 2 - full) <= 2
+
+
+class TestActivationPacing:
+    def test_trrd_spaces_back_to_back_acts(self):
+        mc = MemoryController(enable_refresh=False)
+        # Two row misses in different banks, same rank, same instant.
+        a = mc.read(0, 0.0)
+        b = mc.read(1 << 13, 0.0)  # next bank, same rank (row region)
+        # The second ACT cannot start before tRRD after the first.
+        assert b.data_ready_time >= a.data_ready_time - DDR4_3200.tBL + DDR4_3200.tRRD
+
+    def test_tfaw_limits_burst_of_activations(self):
+        mc = MemoryController(enable_refresh=False)
+        acts = mc._admit_activation
+        times = [acts(0, 0.0) for _ in range(8)]
+        # The 5th ACT waits for the tFAW window of the 1st.
+        assert times[4] >= times[0] + DDR4_3200.tFAW
+        assert times[7] >= times[3] + DDR4_3200.tFAW
+
+    def test_row_hits_not_paced(self):
+        mc = MemoryController(enable_refresh=False)
+        first = mc.read(0, 0.0)
+        now = first.data_ready_time
+        hits = []
+        for i in range(1, 6):
+            response = mc.read(i * 64, now)
+            hits.append(response.row_result)
+            now = response.data_ready_time
+        assert all(kind == "hit" for kind in hits)
+
+    def test_ranks_paced_independently(self):
+        mc = MemoryController(enable_refresh=False)
+        t0 = mc._admit_activation(0, 0.0)
+        for _ in range(4):
+            mc._admit_activation(0, 0.0)
+        # Rank 1 is unaffected by rank 0's tFAW window.
+        assert mc._admit_activation(1, 0.0) == 0.0

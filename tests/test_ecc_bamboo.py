@@ -1,0 +1,135 @@
+"""Tests for the Bamboo-ECC-style vertical pin code."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.bamboo import BambooQPC, BambooStatus
+
+lines = st.integers(0, (1 << 512) - 1)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return BambooQPC()
+
+
+class TestBasics:
+    def test_ecc_budget(self, code):
+        _, checks = code.encode(random.Random(0).getrandbits(512))
+        assert checks >> 64 == 0
+        assert BambooQPC.ECC_BITS == 64  # same ECC-chip budget as SECDED
+
+    def test_quadruple_correction_capability(self, code):
+        assert code._rs.t == 4
+
+    def test_rejects_oversized_line(self, code):
+        with pytest.raises(ValueError):
+            code.encode(1 << 512)
+
+    def test_invalid_pin(self, code):
+        with pytest.raises(ValueError):
+            code.corrupt_pin(0, 0, 72, 1)
+
+    @given(lines)
+    @settings(max_examples=20)
+    def test_clean_roundtrip(self, line):
+        code = BambooQPC()
+        _, checks = code.encode(line)
+        result = code.decode(line, checks)
+        assert result.status is BambooStatus.CLEAN
+        assert result.data == line
+
+
+class TestPinCorrection:
+    @given(lines, st.integers(0, 71), st.integers(1, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_single_pin(self, line, pin, error):
+        code = BambooQPC()
+        _, checks = code.encode(line)
+        bad_line, bad_checks = code.corrupt_pin(line, checks, pin, error)
+        result = code.decode(bad_line, bad_checks)
+        assert result.data == line
+        if pin < 64:
+            assert result.status is BambooStatus.CORRECTED
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=30, deadline=None)
+    def test_four_pins(self, seed):
+        code = BambooQPC()
+        rng = random.Random(seed)
+        line = rng.getrandbits(512)
+        _, checks = code.encode(line)
+        bad_line, bad_checks = line, checks
+        for pin in rng.sample(range(72), 4):
+            bad_line, bad_checks = code.corrupt_pin(
+                bad_line, bad_checks, pin, rng.randrange(1, 256)
+            )
+        result = code.decode(bad_line, bad_checks)
+        assert result.data == line
+
+    def test_five_pins_beyond_qpc(self, code):
+        rng = random.Random(4)
+        silent_original = 0
+        for _ in range(30):
+            line = rng.getrandbits(512)
+            _, checks = code.encode(line)
+            bad_line, bad_checks = line, checks
+            for pin in rng.sample(range(72), 5):
+                bad_line, bad_checks = code.corrupt_pin(
+                    bad_line, bad_checks, pin, rng.randrange(1, 256)
+                )
+            result = code.decode(bad_line, bad_checks)
+            if result.ok and result.data == line:
+                silent_original += 1
+        assert silent_original == 0  # never decodes back to original
+
+
+class TestDetectionLimits:
+    def test_keyless_code_is_forgeable(self, code):
+        """The contrast with SafeGuard: Bamboo (like any linear code) has
+        no secret. The XOR of two valid codewords is a valid codeword, so
+        an adversary who can flip chosen bits replaces the stored line
+        with *any* target line + matching checks — and the decode accepts
+        silently. SafeGuard's MAC makes the equivalent forgery require
+        guessing a 46-bit secret-keyed value."""
+        rng = random.Random(5)
+        line = rng.getrandbits(512)
+        _, checks = code.encode(line)
+        target = rng.getrandbits(512)
+        _, target_checks = code.encode(target)
+        # The attacker's flip masks are computable from public information.
+        forged_line = line ^ (line ^ target)
+        forged_checks = checks ^ (checks ^ target_checks)
+        result = code.decode(forged_line, forged_checks)
+        assert result.status is BambooStatus.CLEAN  # accepted...
+        assert result.data == target  # ...with attacker-chosen contents
+
+    def test_random_scattered_flips_usually_detected(self, code):
+        """Statistically (non-adversarially) the 8 check symbols do detect
+        random multi-bit corruption with high probability."""
+        rng = random.Random(7)
+        detected = 0
+        trials = 40
+        for _ in range(trials):
+            line = rng.getrandbits(512)
+            _, checks = code.encode(line)
+            bad = line
+            for _ in range(12):
+                bad ^= 1 << rng.randrange(512)
+            if code.decode(bad, checks).status is BambooStatus.DETECTED_UE:
+                detected += 1
+        assert detected >= trials * 0.9
+
+    def test_column_fault_figure4_pattern(self, code):
+        """A Figure 4 pin failure is Bamboo's home turf."""
+        rng = random.Random(6)
+        line = rng.getrandbits(512)
+        _, checks = code.encode(line)
+        bad_line, _ = code.corrupt_pin(line, checks, 13, 0xFF)
+        result = code.decode(bad_line, checks)
+        assert result.status is BambooStatus.CORRECTED
+        assert result.data == line
+        assert result.corrected_pins == (13,)

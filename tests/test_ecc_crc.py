@@ -1,0 +1,70 @@
+"""Tests for CRC and its forgeability (why the paper rejects it)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import crc_forgery
+from repro.ecc.crc import CRC, CRC32, CRC46
+
+
+class TestBasics:
+    def test_rejects_oversized_poly(self):
+        with pytest.raises(ValueError):
+            CRC(8, 0x1FF)
+
+    def test_deterministic(self):
+        data = b"hello world" * 5
+        assert CRC32.compute(data) == CRC32.compute(data)
+
+    def test_width_respected(self):
+        assert CRC32.compute(b"x" * 64) >> 32 == 0
+        assert CRC46.compute(b"x" * 64) >> 46 == 0
+
+    def test_detects_single_bit_flips(self):
+        rng = random.Random(2)
+        data = bytes(rng.getrandbits(8) for _ in range(64))
+        reference = CRC46.compute(data)
+        for _ in range(30):
+            corrupted = bytearray(data)
+            corrupted[rng.randrange(64)] ^= 1 << rng.randrange(8)
+            assert CRC46.compute(bytes(corrupted)) != reference
+
+    def test_table_matches_bitwise(self):
+        # The byte-table fast path must equal the definitional bitwise CRC.
+        slow = CRC(32, 0x04C11DB7)
+        for byte in (0, 1, 0x80, 0xFF, 0x5A):
+            assert slow._slow_byte(byte) == slow._table[byte]
+
+
+class TestLinearity:
+    """The property that disqualifies CRC as an integrity code."""
+
+    @given(
+        st.integers(0, (1 << 512) - 1),
+        st.integers(0, (1 << 512) - 1),
+    )
+    @settings(max_examples=30)
+    def test_crc_of_xor_is_xor_of_crcs(self, a, b):
+        assert CRC46.compute_int(a ^ b) == CRC46.compute_int(a) ^ CRC46.compute_int(b)
+
+    @given(st.integers(1, (1 << 512) - 1))
+    @settings(max_examples=30)
+    def test_forgery_always_verifies(self, flip_mask):
+        rng = random.Random(3)
+        line = bytes(rng.getrandbits(8) for _ in range(64))
+        forged_crc, _ = crc_forgery(CRC46, line, flip_mask)
+        forged_line = (int.from_bytes(line, "little") ^ flip_mask).to_bytes(64, "little")
+        assert CRC46.compute(forged_line) == forged_crc
+
+    def test_forgery_needs_no_secret(self):
+        """The adjustment depends only on the public flip mask."""
+        mask = (1 << 13) | (1 << 400)
+        rng = random.Random(4)
+        line_a = bytes(rng.getrandbits(8) for _ in range(64))
+        line_b = bytes(rng.getrandbits(8) for _ in range(64))
+        _, adj_a = crc_forgery(CRC46, line_a, mask)
+        _, adj_b = crc_forgery(CRC46, line_b, mask)
+        assert adj_a == adj_b

@@ -1,0 +1,111 @@
+"""Tests for GF(2^m) arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf import GF16, GF256, GF2m
+
+gf16_elems = st.integers(0, 15)
+gf256_elems = st.integers(0, 255)
+gf16_nonzero = st.integers(1, 15)
+gf256_nonzero = st.integers(1, 255)
+
+
+class TestConstruction:
+    def test_default_polys(self):
+        assert GF2m(4).size == 16
+        assert GF2m(8).size == 256
+
+    def test_non_primitive_poly_rejected(self):
+        # x^4 + 1 is not primitive over GF(2).
+        with pytest.raises(ValueError):
+            GF2m(4, 0b10001)
+
+    def test_missing_default_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(9)
+
+    def test_exp_log_inverse_tables(self):
+        for x in range(1, 16):
+            assert GF16.exp[GF16.log[x]] == x
+
+
+class TestFieldAxioms:
+    @given(gf256_elems, gf256_elems)
+    @settings(max_examples=60)
+    def test_mul_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(gf256_elems, gf256_elems, gf256_elems)
+    @settings(max_examples=60)
+    def test_mul_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(gf256_elems, gf256_elems, gf256_elems)
+    @settings(max_examples=60)
+    def test_distributive(self, a, b, c):
+        assert GF256.mul(a, b ^ c) == GF256.mul(a, b) ^ GF256.mul(a, c)
+
+    @given(gf256_nonzero)
+    @settings(max_examples=60)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inv(a)) == 1
+
+    @given(gf16_nonzero, gf16_nonzero)
+    @settings(max_examples=60)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert GF16.div(a, b) == GF16.mul(a, GF16.inv(b))
+
+    def test_zero_rules(self):
+        assert GF16.mul(0, 7) == 0
+        assert GF16.div(0, 3) == 0
+        with pytest.raises(ZeroDivisionError):
+            GF16.div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            GF16.inv(0)
+
+    @given(gf16_nonzero, st.integers(-10, 10))
+    @settings(max_examples=60)
+    def test_pow_matches_repeated_mul(self, a, e):
+        expected = 1
+        for _ in range(abs(e)):
+            expected = GF16.mul(expected, a)
+        if e < 0:
+            expected = GF16.inv(expected)
+        assert GF16.pow(a, e) == expected
+
+    def test_alpha_generates_all_nonzero(self):
+        seen = {GF16.alpha_pow(i) for i in range(15)}
+        assert seen == set(range(1, 16))
+
+
+class TestPolynomials:
+    def test_eval_horner(self):
+        # p(x) = 3 + 2x over GF(16): p(1) = 1, p(2) = 3 ^ 4 = 7.
+        assert GF16.poly_eval([3, 2], 1) == 1
+        assert GF16.poly_eval([3, 2], 2) == 3 ^ 4
+
+    def test_poly_mul_degree(self):
+        product = GF256.poly_mul([1, 1], [1, 1])
+        # (1+x)^2 = 1 + x^2 over GF(2^m).
+        assert product == [1, 0, 1]
+
+    @given(st.lists(gf16_elems, min_size=1, max_size=5), gf16_elems)
+    @settings(max_examples=40)
+    def test_scale_then_eval(self, coeffs, s):
+        x = 3
+        assert GF16.poly_eval(GF16.poly_scale(coeffs, s), x) == GF16.mul(
+            s, GF16.poly_eval(coeffs, x)
+        )
+
+    @given(
+        st.lists(gf16_elems, min_size=1, max_size=5),
+        st.lists(gf16_elems, min_size=1, max_size=5),
+    )
+    @settings(max_examples=40)
+    def test_add_then_eval(self, a, b):
+        x = 5
+        assert GF16.poly_eval(GF16.poly_add(a, b), x) == GF16.poly_eval(
+            a, x
+        ) ^ GF16.poly_eval(b, x)

@@ -1,0 +1,126 @@
+"""Tests for the parameterizable Hamming SEC / SEC-DED codes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.hamming import DecodeStatus, HammingSEC, HammingSECDED
+
+
+class TestDimensions:
+    @pytest.mark.parametrize(
+        "k,r", [(1, 2), (4, 3), (11, 4), (26, 5), (57, 6), (64, 7), (120, 7), (566, 10)]
+    )
+    def test_check_bit_count(self, k, r):
+        assert HammingSEC(k).r == r
+
+    def test_secded_adds_one_bit(self):
+        code = HammingSECDED(64)
+        assert code.n_total == 72
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            HammingSEC(0)
+
+
+class TestSECRoundtrip:
+    def test_zero_and_ones(self):
+        code = HammingSEC(64)
+        for data in (0, (1 << 64) - 1, 0xA5A5A5A5A5A5A5A5):
+            assert code.decode(code.encode(data)).data == data
+
+    def test_rejects_oversized_data(self):
+        code = HammingSEC(8)
+        with pytest.raises(ValueError):
+            code.encode(1 << 8)
+
+    def test_rejects_oversized_codeword(self):
+        code = HammingSEC(8)
+        with pytest.raises(ValueError):
+            code.decode(1 << code.n)
+
+    @given(st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        code = HammingSEC(64)
+        result = code.decode(code.encode(data))
+        assert result.data == data
+        assert result.status is DecodeStatus.CLEAN
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, 70))
+    @settings(max_examples=100)
+    def test_corrects_any_single_bit(self, data, position):
+        code = HammingSEC(64)
+        corrupted = code.encode(data) ^ (1 << position)
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+        assert result.corrected_bit == position
+
+
+class TestSECDEDTruthTable:
+    @pytest.fixture
+    def code(self):
+        return HammingSECDED(64)
+
+    def test_clean(self, code):
+        cw = code.encode(0x123456789ABCDEF0)
+        result = code.decode(cw)
+        assert result.status is DecodeStatus.CLEAN
+        assert result.ok
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, 71))
+    @settings(max_examples=100)
+    def test_single_error_corrected(self, data, position):
+        code = HammingSECDED(64)
+        result = code.decode(code.encode(data) ^ (1 << position))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(
+        st.integers(0, (1 << 64) - 1),
+        st.lists(st.integers(0, 71), min_size=2, max_size=2, unique=True),
+    )
+    @settings(max_examples=100)
+    def test_double_error_detected(self, data, positions):
+        code = HammingSECDED(64)
+        corrupted = code.encode(data)
+        for p in positions:
+            corrupted ^= 1 << p
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.DETECTED_UE
+        assert not result.ok
+
+    def test_parity_bit_error_corrected(self, code):
+        data = 0xFEEDFACECAFEBEEF
+        corrupted = code.encode(data) ^ (1 << code.n)
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_triple_error_not_guaranteed(self, code):
+        """3 errors exceed SEC-DED: outcome is miscorrection or DUE, and
+        miscorrections return wrong data — exactly the RH exposure."""
+        rng = random.Random(3)
+        outcomes = set()
+        for _ in range(50):
+            data = rng.getrandbits(64)
+            cw = code.encode(data)
+            for p in rng.sample(range(72), 3):
+                cw ^= 1 << p
+            result = code.decode(cw)
+            if result.status is DecodeStatus.CORRECTED and result.data != data:
+                outcomes.add("miscorrected")
+            elif result.status is DecodeStatus.DETECTED_UE:
+                outcomes.add("detected")
+        assert "miscorrected" in outcomes  # silent corruption is possible
+
+    def test_line_granularity_code_exists(self):
+        # The payload of SafeGuard's ECC-1 (512 data + 54 MAC) fits 10 bits.
+        code = HammingSEC(566)
+        assert code.r == 10
+        data = random.Random(9).getrandbits(566)
+        cw = code.encode(data) ^ (1 << 321)
+        assert code.decode(cw).data == data

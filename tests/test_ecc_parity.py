@@ -1,0 +1,84 @@
+"""Tests for column parity and chip-wise parity."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.parity import (
+    chip_contributions,
+    chip_parity,
+    column_parity,
+    recover_chip,
+    recover_pin,
+)
+from repro.utils.bits import (
+    extract_chip_bits,
+    extract_pin_symbols,
+    insert_chip_bits,
+    insert_pin_symbol,
+)
+
+lines = st.integers(0, (1 << 512) - 1)
+
+
+class TestColumnParity:
+    def test_parity_is_8_bits(self):
+        assert column_parity((1 << 512) - 1) >> 8 == 0
+
+    def test_all_ones_parity_zero(self):
+        # 64 identical symbols XOR to zero.
+        assert column_parity((1 << 512) - 1) == 0
+
+    @given(lines, st.integers(0, 63), st.integers(1, 255))
+    @settings(max_examples=60)
+    def test_recover_any_pin(self, line, pin, error):
+        parity = column_parity(line)
+        symbols = extract_pin_symbols(line, 64)
+        corrupted = insert_pin_symbol(line, pin, symbols[pin] ^ error, 64)
+        assert recover_pin(corrupted, pin, parity) == line
+
+    @given(lines, st.integers(0, 63))
+    @settings(max_examples=30)
+    def test_recover_healthy_pin_is_identity(self, line, pin):
+        assert recover_pin(line, pin, column_parity(line)) == line
+
+    def test_recovering_wrong_pin_does_not_restore(self):
+        rng = random.Random(1)
+        line = rng.getrandbits(512)
+        parity = column_parity(line)
+        symbols = extract_pin_symbols(line, 64)
+        corrupted = insert_pin_symbol(line, 10, symbols[10] ^ 0b101, 64)
+        assert recover_pin(corrupted, 20, parity) != line
+
+
+class TestChipParity:
+    @given(lines, st.integers(0, (1 << 32) - 1))
+    @settings(max_examples=30)
+    def test_contributions_and_parity_consistency(self, line, mac):
+        contributions = chip_contributions(line, mac)
+        assert len(contributions) == 17
+        assert contributions[16] == mac
+        xor = 0
+        for c in contributions:
+            xor ^= c
+        assert xor == chip_parity(line, mac)
+
+    @given(lines, st.integers(0, (1 << 32) - 1), st.integers(0, 15),
+           st.integers(1, (1 << 32) - 1))
+    @settings(max_examples=60)
+    def test_recover_any_data_chip(self, line, mac, chip, error):
+        parity = chip_parity(line, mac)
+        current = extract_chip_bits(line, chip, 4, 16)
+        corrupted = insert_chip_bits(line, chip, current ^ error, 4, 16)
+        fixed_line, fixed_mac = recover_chip(corrupted, mac, parity, chip)
+        assert fixed_line == line
+        assert fixed_mac == mac
+
+    @given(lines, st.integers(0, (1 << 32) - 1), st.integers(1, (1 << 32) - 1))
+    @settings(max_examples=30)
+    def test_recover_mac_chip(self, line, mac, error):
+        parity = chip_parity(line, mac)
+        fixed_line, fixed_mac = recover_chip(line, mac ^ error, parity, 16)
+        assert fixed_line == line
+        assert fixed_mac == mac

@@ -1,0 +1,91 @@
+"""Exhaustive (non-sampled) verification of the core codec guarantees.
+
+Hypothesis sampling elsewhere covers random positions; these tests sweep
+*every* position so the single-error-correction guarantees hold with
+certainty, not confidence.
+"""
+
+import random
+
+from repro.ecc.bamboo import BambooQPC
+from repro.ecc.hamming import DecodeStatus
+from repro.ecc.parity import column_parity, recover_pin
+from repro.ecc.secded import LineECC1, SECDED72
+from repro.utils.bits import extract_pin_symbols, insert_pin_symbol
+
+
+def test_secded72_every_single_bit_position():
+    code = SECDED72()
+    word = random.Random(1).getrandbits(64)
+    codeword = code.encode(word)
+    for position in range(72):
+        result = code.decode(codeword ^ (1 << position))
+        assert result.status is DecodeStatus.CORRECTED, position
+        assert result.data == word, position
+
+
+def test_line_ecc1_every_payload_and_check_position():
+    code = LineECC1(566)
+    payload = random.Random(2).getrandbits(566)
+    checks = code.encode(payload)
+    for position in range(566):
+        result = code.correct(payload ^ (1 << position), checks)
+        assert result.status is DecodeStatus.CORRECTED, position
+        assert result.data == payload, position
+    for position in range(code.check_bits):
+        result = code.correct(payload, checks ^ (1 << position))
+        assert result.data == payload, ("check", position)
+
+
+def test_column_parity_every_pin_every_single_beat():
+    line = random.Random(3).getrandbits(512)
+    parity = column_parity(line)
+    symbols = extract_pin_symbols(line, 64)
+    for pin in range(64):
+        corrupted = insert_pin_symbol(line, pin, symbols[pin] ^ 0xFF, 64)
+        assert recover_pin(corrupted, pin, parity) == line, pin
+
+
+def test_bamboo_every_pin_position():
+    code = BambooQPC()
+    line = random.Random(4).getrandbits(512)
+    _, checks = code.encode(line)
+    for pin in range(72):
+        bad_line, bad_checks = code.corrupt_pin(line, checks, pin, 0xA5)
+        result = code.decode(bad_line, bad_checks)
+        assert result.data == line, pin
+
+
+def test_safeguard_secded_every_metadata_bit():
+    """ECC-1 must cover all 64 stored metadata bits (its own checks, the
+    column parity, and the MAC field)."""
+    from repro.core.config import SafeGuardConfig
+    from repro.core.secded import SafeGuardSECDED
+
+    controller = SafeGuardSECDED(SafeGuardConfig(key=b"exhaustive-key!!"))
+    golden = bytes(random.Random(5).getrandbits(8) for _ in range(64))
+    for bit in range(64):
+        address = 64 * (bit + 1)
+        controller.write(address, golden)
+        controller.inject_meta_bits(address, 1 << bit)
+        result = controller.read(address)
+        assert result.ok and result.data == golden, bit
+
+
+def test_safeguard_chipkill_every_chip():
+    from repro.core.chipkill import SafeGuardChipkill
+    from repro.core.config import SafeGuardConfig
+
+    golden = bytes(random.Random(6).getrandbits(8) for _ in range(64))
+    for chip in range(18):
+        # Fresh controller per chip: a single controller seeing 18
+        # *different* chips fail in sequence rightly declares a ping-pong
+        # DUE (Section V-D) — here we verify each chip is individually
+        # correctable.
+        controller = SafeGuardChipkill(
+            SafeGuardConfig(key=b"exhaustive-key!!", spare_lines=0)
+        )
+        controller.write(0x40, golden)
+        controller.inject_chip_failure(0x40, chip, 0xDEADBEEF)
+        result = controller.read(0x40)
+        assert result.ok and result.data == golden, chip

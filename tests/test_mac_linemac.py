@@ -1,0 +1,112 @@
+"""Tests for the per-line MAC construction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.linemac import LineMAC
+from repro.utils.bits import bytes_to_words
+
+
+def _random_line(seed):
+    rng = random.Random(seed)
+    return bytes(rng.getrandbits(8) for _ in range(64))
+
+
+class TestBasics:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            LineMAC(b"0123456789abcdef", 0)
+        with pytest.raises(ValueError):
+            LineMAC(b"0123456789abcdef", 65)
+
+    def test_line_length_validation(self):
+        mac = LineMAC(b"0123456789abcdef", 46)
+        with pytest.raises(ValueError):
+            mac.compute(b"short", 0)
+
+    @pytest.mark.parametrize("bits", [32, 46, 54, 64])
+    def test_truncation(self, bits):
+        mac = LineMAC(b"0123456789abcdef", bits)
+        assert mac.compute(_random_line(1), 0x40) >> bits == 0
+
+    def test_deterministic(self):
+        mac = LineMAC(b"0123456789abcdef", 46)
+        line = _random_line(2)
+        assert mac.compute(line, 0x80) == mac.compute(line, 0x80)
+
+    def test_compute_words_matches_compute(self):
+        mac = LineMAC(b"0123456789abcdef", 46)
+        line = _random_line(3)
+        assert mac.compute(line, 0xC0) == mac.compute_words(bytes_to_words(line), 0xC0)
+
+    def test_escape_probability(self):
+        assert LineMAC(b"0123456789abcdef", 32).escape_probability == 2.0 ** -32
+
+
+class TestSensitivity:
+    @given(st.integers(0, 511))
+    @settings(max_examples=60)
+    def test_any_single_bit_flip_changes_mac(self, bit):
+        mac = LineMAC(b"0123456789abcdef", 46)
+        line = _random_line(4)
+        stored = mac.compute(line, 0x40)
+        flipped = bytearray(line)
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        assert not mac.verify(bytes(flipped), 0x40, stored)
+
+    def test_address_binding(self):
+        """The same data at a different address has a different MAC —
+        blocking copy/relocation attacks."""
+        mac = LineMAC(b"0123456789abcdef", 46)
+        line = _random_line(5)
+        assert mac.compute(line, 0x40) != mac.compute(line, 0x80)
+
+    def test_word_swap_detected(self):
+        """Swapping two equal-position words must change the MAC (the
+        per-word tweak prevents XOR-cancellation forgeries)."""
+        mac = LineMAC(b"0123456789abcdef", 46)
+        line = bytearray(_random_line(6))
+        swapped = bytearray(line)
+        swapped[0:8], swapped[8:16] = line[8:16], line[0:8]
+        assert mac.compute(bytes(line), 0x40) != mac.compute(bytes(swapped), 0x40)
+
+    def test_key_sensitivity(self):
+        line = _random_line(7)
+        a = LineMAC(b"0123456789abcdef", 46).compute(line, 0x40)
+        b = LineMAC(b"fedcba9876543210", 46).compute(line, 0x40)
+        assert a != b
+
+    def test_duplicate_word_lines_do_not_collide(self):
+        """All-same-word lines must not all MAC to the same value."""
+        mac = LineMAC(b"0123456789abcdef", 46)
+        a = mac.compute(b"\x11" * 64, 0x40)
+        b = mac.compute(b"\x22" * 64, 0x40)
+        assert a != b
+
+
+class TestEscapeScaling:
+    def test_narrow_mac_escape_rate_tracks_2_pow_n(self):
+        """With an 8-bit MAC, random corruption escapes at ~2^-8."""
+        mac = LineMAC(b"0123456789abcdef", 8)
+        rng = random.Random(8)
+        line = _random_line(9)
+        stored = mac.compute(line, 0x40)
+        escapes = 0
+        trials = 20_000
+        for _ in range(trials):
+            corrupted = bytearray(line)
+            corrupted[rng.randrange(64)] ^= rng.randrange(1, 256)
+            if mac.verify(bytes(corrupted), 0x40, stored):
+                escapes += 1
+        rate = escapes / trials
+        assert 0.5 * 2 ** -8 < rate < 2.0 * 2 ** -8
+
+    def test_tweak_cache_bounded(self):
+        mac = LineMAC(b"0123456789abcdef", 46)
+        line = _random_line(10)
+        for i in range(mac._tweak_cache_limit + 10):
+            mac.compute(line, 64 * i)
+        assert len(mac._tweak_cache) <= mac._tweak_cache_limit + 1

@@ -1,0 +1,76 @@
+"""Tests for the SPECK-64/128 block cipher."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.speck import Speck64
+
+#: Official SPECK-64/128 test vector (Beaulieu et al., appendix C):
+#: key (k0, l0, l1, l2) = 03020100 0b0a0908 13121110 1b1a1918,
+#: plaintext (x, y) = 3b726574 7475432d -> ciphertext 8c6fa548 454e028b.
+VECTOR_KEY = (
+    bytes([0x00, 0x01, 0x02, 0x03])
+    + bytes([0x08, 0x09, 0x0A, 0x0B])
+    + bytes([0x10, 0x11, 0x12, 0x13])
+    + bytes([0x18, 0x19, 0x1A, 0x1B])
+)
+VECTOR_PT = (0x3B726574 << 32) | 0x7475432D
+VECTOR_CT = (0x8C6FA548 << 32) | 0x454E028B
+
+blocks = st.integers(0, (1 << 64) - 1)
+
+
+class TestVector:
+    def test_official_test_vector(self):
+        cipher = Speck64(VECTOR_KEY)
+        assert cipher.encrypt_block(VECTOR_PT) == VECTOR_CT
+
+    def test_official_vector_decrypts(self):
+        cipher = Speck64(VECTOR_KEY)
+        assert cipher.decrypt_block(VECTOR_CT) == VECTOR_PT
+
+
+class TestBasics:
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            Speck64(b"short")
+
+    @given(blocks)
+    @settings(max_examples=100)
+    def test_encrypt_decrypt_roundtrip(self, block):
+        cipher = Speck64(b"0123456789abcdef")
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_is_a_permutation_on_samples(self):
+        cipher = Speck64(b"0123456789abcdef")
+        rng = random.Random(1)
+        inputs = {rng.getrandbits(64) for _ in range(500)}
+        outputs = {cipher.encrypt_block(x) for x in inputs}
+        assert len(outputs) == len(inputs)
+
+    def test_key_sensitivity(self):
+        a = Speck64(b"0123456789abcdef")
+        b = Speck64(b"0123456789abcdeg")
+        block = 0x1122334455667788
+        assert a.encrypt_block(block) != b.encrypt_block(block)
+
+    def test_avalanche(self):
+        """Flipping one plaintext bit flips ~half the ciphertext bits."""
+        cipher = Speck64(b"0123456789abcdef")
+        rng = random.Random(2)
+        total = 0
+        trials = 200
+        for _ in range(trials):
+            x = rng.getrandbits(64)
+            bit = 1 << rng.randrange(64)
+            diff = cipher.encrypt_block(x) ^ cipher.encrypt_block(x ^ bit)
+            total += bin(diff).count("1")
+        average = total / trials
+        assert 24 <= average <= 40  # ~32 expected
+
+    def test_output_fits_64_bits(self):
+        cipher = Speck64(b"0123456789abcdef")
+        assert cipher.encrypt_block((1 << 64) - 1) >> 64 == 0

@@ -1,0 +1,95 @@
+"""Tests for the performance-experiment harness."""
+
+import pytest
+
+from repro.perf.model import (
+    PerfConfig,
+    geomean_normalized,
+    geomean_slowdown_percent,
+    run_comparison,
+    run_workload,
+)
+from repro.perf.organizations import (
+    BASELINE_ECC,
+    PerfOrganization,
+    safeguard,
+    sgx_style,
+    synergy_style,
+)
+from repro.cpu.workloads import profile
+
+FAST = PerfConfig(instructions_per_core=30_000, warmup_instructions=5_000, n_cores=2)
+
+
+class TestOrganizations:
+    def test_baseline_has_no_overheads(self):
+        assert BASELINE_ECC.read_tail_cpu_cycles == 0
+        assert not BASELINE_ECC.extra_read_per_read
+        assert not BASELINE_ECC.extra_write_per_writeback
+
+    def test_safeguard_only_tail(self):
+        org = safeguard(8)
+        assert org.read_tail_cpu_cycles == 8
+        assert not org.extra_read_per_read
+        assert not org.extra_write_per_writeback
+
+    def test_sgx_has_both_extras(self):
+        org = sgx_style(8)
+        assert org.extra_read_per_read and org.extra_write_per_writeback
+
+    def test_synergy_write_only(self):
+        org = synergy_style(8)
+        assert not org.extra_read_per_read
+        assert org.extra_write_per_writeback
+
+    def test_metadata_address_covers_8_lines(self):
+        org = sgx_style(8)
+        metas = {org.metadata_address(64 * i) for i in range(8)}
+        assert len(metas) == 1
+        assert org.metadata_address(64 * 8) != org.metadata_address(0)
+
+    def test_metadata_region_is_disjoint(self):
+        org = sgx_style(8)
+        assert org.metadata_address(0) >= 1 << 44
+
+
+class TestRunners:
+    def test_run_workload(self):
+        result = run_workload(profile("gcc"), BASELINE_ECC, FAST)
+        assert result.workload == "gcc"
+        assert result.total_cycles > 0
+
+    def test_comparison_structure(self):
+        results = run_comparison([safeguard(8)], workloads=["gcc", "mcf"], config=FAST)
+        assert [r.workload for r in results] == ["gcc", "mcf"]
+        for r in results:
+            assert r.normalized_performance(safeguard(8).name) > 0
+            assert (
+                r.slowdown_percent(safeguard(8).name)
+                == pytest.approx((1 - r.normalized_performance(safeguard(8).name)) * 100)
+            )
+
+    def test_geomean_of_identity_is_one(self):
+        results = run_comparison([BASELINE_ECC], workloads=["gcc"], config=FAST)
+        # The "organization" IS the baseline: identical runs.
+        assert geomean_normalized(results, BASELINE_ECC.name) == pytest.approx(1.0)
+        assert geomean_slowdown_percent(results, BASELINE_ECC.name) == pytest.approx(0.0)
+
+    def test_higher_mac_latency_is_slower(self):
+        results = run_comparison(
+            [safeguard(8), safeguard(80)], workloads=["omnetpp"], config=FAST
+        )
+        r = results[0]
+        assert r.normalized_performance(safeguard(80).name) <= r.normalized_performance(
+            safeguard(8).name
+        ) + 1e-9
+
+    def test_ordering_safeguard_beats_sgx(self):
+        """The paper's headline ordering on a memory-bound workload."""
+        results = run_comparison(
+            [safeguard(8), sgx_style(8)], workloads=["mcf"], config=FAST
+        )
+        r = results[0]
+        assert r.slowdown_percent(safeguard(8).name) < r.slowdown_percent(
+            sgx_style(8).name
+        )

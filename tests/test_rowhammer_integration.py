@@ -1,0 +1,103 @@
+"""Tests wiring RH flips into data paths (Fig 1c) and ECCploit."""
+
+import pytest
+
+from repro.core.baselines import ConventionalSECDED
+from repro.core.config import SafeGuardConfig
+from repro.core.secded import SafeGuardSECDED
+from repro.core.types import ReadStatus
+from repro.rowhammer.eccploit import ECCploitAttack
+from repro.rowhammer.integration import VictimArray
+
+KEY = b"rh-integration-k"
+
+
+class TestVictimArray:
+    def _array(self, controller_cls):
+        controller = controller_cls(SafeGuardConfig(key=KEY))
+        return VictimArray(controller, bits_per_row=4096)  # 8 lines per row
+
+    def test_layout(self):
+        array = self._array(SafeGuardSECDED)
+        assert array.lines_per_row == 8
+        assert array.line_address(1, 0) == 8 * 64
+        with pytest.raises(ValueError):
+            VictimArray(None, bits_per_row=1000)
+
+    def test_populate_and_clean_read(self):
+        array = self._array(SafeGuardSECDED)
+        array.populate_row(3)
+        outcome = array.read_all("clean")
+        assert outcome.lines_read == 8
+        assert outcome.clean == 8
+        assert not outcome.security_risk
+
+    def test_single_flip_corrected_everywhere(self):
+        for cls in (ConventionalSECDED, SafeGuardSECDED):
+            array = self._array(cls)
+            array.populate_row(2)
+            array.apply_flips({2: [5]})
+            outcome = array.read_all()
+            assert outcome.corrected == 1
+            assert not outcome.security_risk
+
+    def test_multibit_word_flips_silent_vs_due(self):
+        """The Figure 1c contrast on a surgical multi-bit pattern."""
+        flips = {2: [0, 5, 10, 15, 20]}  # five bits in word 0 of line 0
+        secded = self._array(ConventionalSECDED)
+        secded.populate_row(2)
+        secded.apply_flips(flips)
+        secded_outcome = secded.read_all("secded")
+
+        safeguard = self._array(SafeGuardSECDED)
+        safeguard.populate_row(2)
+        safeguard.apply_flips(flips)
+        safeguard_outcome = safeguard.read_all("safeguard")
+
+        assert safeguard_outcome.detected_ue == 1
+        assert not safeguard_outcome.security_risk
+        # SECDED either silently corrupts or (if lucky) detects — across
+        # this fixed pattern it must not return corrected-correct data.
+        assert secded_outcome.corrected == 0 or secded_outcome.security_risk
+
+    def test_flips_to_unwritten_rows_ignored(self):
+        array = self._array(SafeGuardSECDED)
+        array.populate_row(1)
+        applied = array.apply_flips({9: [3]})
+        assert applied == 0
+
+    def test_out_of_row_bits_ignored(self):
+        array = self._array(SafeGuardSECDED)
+        array.populate_row(1)
+        applied = array.apply_flips({1: [4096 + 5]})
+        assert applied == 0
+
+
+class TestECCploit:
+    def test_timing_oracle_reveals_flips(self):
+        attack = ECCploitAttack(ConventionalSECDED(SafeGuardConfig(key=KEY)))
+        assert attack.probe_bit(7)  # a flipped bit reads slow (corrected)
+
+    def test_compose_defeats_secded_silently(self):
+        attack = ECCploitAttack(ConventionalSECDED(SafeGuardConfig(key=KEY)))
+        result = attack.run(word_index=0, n_flips=3)
+        # 3 flips in one word: SEC-DED miscorrects or raw-escapes.
+        assert result.attack_succeeded or result.final_status is ReadStatus.DETECTED_UE
+        # For the canonical 3-bit pattern the decode typically miscorrects:
+        assert result.attack_succeeded
+
+    def test_same_attack_is_due_under_safeguard(self):
+        attack = ECCploitAttack(SafeGuardSECDED(SafeGuardConfig(key=KEY)))
+        result = attack.run(word_index=0, n_flips=3)
+        assert not result.attack_succeeded
+        assert result.final_status is ReadStatus.DETECTED_UE
+
+    def test_oracle_exists_under_safeguard_but_is_useless(self):
+        """Section VII-D: the timing channel remains, the escape does not."""
+        attack = ECCploitAttack(SafeGuardSECDED(SafeGuardConfig(key=KEY)))
+        assert attack.probe_bit(3)  # correction latency still observable
+
+    def test_insufficient_templates_raises(self):
+        attack = ECCploitAttack(ConventionalSECDED(SafeGuardConfig(key=KEY)))
+        with pytest.raises(RuntimeError):
+            attack.find_templates([], 3) or attack.run(n_flips=99)

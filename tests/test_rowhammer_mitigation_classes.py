@@ -1,0 +1,94 @@
+"""Tests for the remaining Section II-D mitigation classes:
+isolation (guard rows) and global refresh-rate increase."""
+
+import pytest
+
+from repro.rowhammer.global_refresh import (
+    analyze,
+    feasibility_breakpoint,
+    required_refresh_window,
+)
+from repro.rowhammer.isolation import GuardRowAllocator, evaluate_isolation
+from repro.rowhammer.mitigations import GrapheneMitigation, TRRMitigation
+
+
+class TestGuardRowAllocator:
+    def test_layout_structure(self):
+        allocator = GuardRowAllocator(n_rows=128, guard_distance=2)
+        layout = allocator.place(["a", "b"], rows_per_domain=10)
+        assert len(layout.domain_rows["a"]) == 10
+        assert len(layout.domain_rows["b"]) == 10
+        assert len(layout.guard_rows) == 2
+        # Guards sit strictly between the domains.
+        assert max(layout.domain_rows["a"]) < min(layout.guard_rows)
+        assert max(layout.guard_rows) < min(layout.domain_rows["b"])
+
+    def test_no_row_assigned_twice(self):
+        layout = GuardRowAllocator(128, 1).place(["a", "b", "c"], 20)
+        all_rows = layout.guard_rows + [
+            r for rows in layout.domain_rows.values() for r in rows
+        ]
+        assert len(all_rows) == len(set(all_rows))
+
+    def test_capacity_overhead(self):
+        layout = GuardRowAllocator(128, 4).place(["a", "b"], 16)
+        assert layout.capacity_overhead == pytest.approx(4 / 128)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            GuardRowAllocator(16, 1).place(["a", "b"], 10)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            GuardRowAllocator(128, -1)
+
+
+class TestIsolationEvaluation:
+    def test_single_guard_holds_without_mitigation(self):
+        """Direct distance-2 coupling alone cannot cross one guard row."""
+        outcome = evaluate_isolation(1, None)
+        assert outcome.isolation_held
+        # The damage lands in the attacker's own rows and the guard.
+        assert outcome.own_domain_flips > 0 or outcome.guard_row_flips > 0
+
+    def test_single_guard_crossed_via_mitigation(self):
+        """The Half-Double mechanism: the in-DRAM mitigation's refreshes
+        of the guard row hammer the victim across the band."""
+        outcome = evaluate_isolation(1, lambda: TRRMitigation(4))
+        assert not outcome.isolation_held
+        assert outcome.cross_domain_flips > 0
+
+    def test_double_guard_holds(self):
+        outcome = evaluate_isolation(2, lambda: TRRMitigation(4))
+        assert outcome.isolation_held
+
+    def test_wider_guards_cost_capacity(self):
+        narrow = evaluate_isolation(1, None)
+        wide = evaluate_isolation(4, None)
+        assert wide.capacity_overhead > narrow.capacity_overhead
+
+
+class TestGlobalRefresh:
+    def test_window_scales_with_threshold(self):
+        assert required_refresh_window(10_000) == pytest.approx(460_000.0)
+        assert required_refresh_window(20_000) == 2 * required_refresh_window(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_refresh_window(0)
+
+    def test_paper_breakpoint_region(self):
+        """Paper: 'not viable ... below 32K'. Our tRC/tRFC arithmetic puts
+        the absolute wall at ~62K; both condemn sub-10K thresholds."""
+        breakpoint_threshold = feasibility_breakpoint()
+        assert 30_000 < breakpoint_threshold < 100_000
+        assert not analyze(32_000).feasible
+        assert not analyze(4_800).feasible
+
+    def test_old_thresholds_were_feasible(self):
+        analysis = analyze(139_000)
+        assert analysis.feasible
+        assert analysis.refresh_overhead < 0.5
+
+    def test_overhead_monotone_in_threshold(self):
+        assert analyze(10_000).refresh_overhead > analyze(100_000).refresh_overhead

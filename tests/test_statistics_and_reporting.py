@@ -1,0 +1,110 @@
+"""Tests for confidence intervals, weighted speedup, and reporting."""
+
+import csv
+import math
+
+import pytest
+
+from repro.cpu.system import SystemResult
+from repro.experiments.reporting import format_table, to_csv
+from repro.faultsim.evaluators import SECDEDEvaluator
+from repro.faultsim.geometry import X8_SECDED_16GB
+from repro.faultsim.montecarlo import MonteCarloConfig, ReliabilityResult, simulate
+
+
+def _result(n_modules, n_failed):
+    p = n_failed / n_modules
+    return ReliabilityResult(
+        scheme="x",
+        n_modules=n_modules,
+        years=7.0,
+        grid_hours=[1.0],
+        fail_probability=[p],
+        n_failed=n_failed,
+        n_due=n_failed,
+        n_sdc=0,
+        failures_by_scope={},
+    )
+
+
+class TestConfidenceIntervals:
+    def test_interval_contains_point_estimate(self):
+        result = _result(10_000, 300)
+        low, high = result.confidence_interval()
+        assert low < 0.03 < high
+
+    def test_interval_shrinks_with_samples(self):
+        small = _result(1_000, 30)
+        large = _result(100_000, 3_000)
+        assert (large.confidence_interval()[1] - large.confidence_interval()[0]) < (
+            small.confidence_interval()[1] - small.confidence_interval()[0]
+        )
+
+    def test_zero_failures(self):
+        low, high = _result(10_000, 0).confidence_interval()
+        assert low == 0.0
+        assert 0 < high < 0.01
+
+    def test_significance_test(self):
+        a = _result(100_000, 1_000)
+        b = _result(100_000, 3_000)
+        assert a.differs_significantly_from(b)
+        c = _result(100_000, 1_020)
+        assert not a.differs_significantly_from(c)
+
+    def test_real_simulation_interval_brackets(self):
+        cfg = MonteCarloConfig(n_modules=30_000, seed=4)
+        result = simulate(SECDEDEvaluator(X8_SECDED_16GB), X8_SECDED_16GB, cfg)
+        low, high = result.confidence_interval()
+        assert low <= result.final_fail_probability <= high
+
+
+class TestWeightedSpeedup:
+    def _system_result(self, cycles):
+        return SystemResult(
+            workload="w",
+            organization="o",
+            n_cores=len(cycles),
+            instructions_per_core=1000,
+            core_cycles=cycles,
+            core_ipc=[1000 / c for c in cycles],
+            dram_reads=0,
+            dram_writes=0,
+            llc_miss_rate=0.0,
+            row_hit_rate=0.0,
+            avg_read_latency_mem_cycles=0.0,
+        )
+
+    def test_identity(self):
+        base = self._system_result([100.0, 120.0])
+        assert base.weighted_speedup(base) == pytest.approx(1.0)
+
+    def test_uniform_slowdown(self):
+        base = self._system_result([100.0, 100.0])
+        slow = self._system_result([110.0, 110.0])
+        assert slow.weighted_speedup(base) == pytest.approx(100 / 110)
+
+    def test_mismatched_cores_rejected(self):
+        base = self._system_result([100.0])
+        other = self._system_result([100.0, 100.0])
+        with pytest.raises(ValueError):
+            other.weighted_speedup(base)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], ["xx", 0.001]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:2])) >= 1
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.00001], [12345.6], [0.25]])
+        assert "e-05" in table and "e+04" in table.replace("E", "e") or "1.235e" in table
+
+    def test_to_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        to_csv(str(path), ["x", "y"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]

@@ -1,0 +1,167 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    LINE_BITS,
+    LINE_BYTES,
+    bit_clear,
+    bit_flip,
+    bit_get,
+    bit_set,
+    bytes_to_int,
+    bytes_to_words,
+    extract_chip_bits,
+    extract_pin_symbols,
+    flip_bits,
+    insert_chip_bits,
+    insert_pin_symbol,
+    int_to_bytes,
+    int_to_words,
+    parity,
+    pin_symbols_to_int,
+    popcount,
+    random_line,
+    words_to_bytes,
+    words_to_int,
+)
+
+lines = st.integers(min_value=0, max_value=(1 << LINE_BITS) - 1)
+
+
+class TestBitOps:
+    def test_bit_get_set_clear_flip(self):
+        v = 0b1010
+        assert bit_get(v, 1) == 1
+        assert bit_get(v, 0) == 0
+        assert bit_set(v, 0) == 0b1011
+        assert bit_clear(v, 1) == 0b1000
+        assert bit_flip(v, 3) == 0b0010
+
+    def test_flip_bits_multiple(self):
+        assert flip_bits(0, [0, 2, 5]) == 0b100101
+
+    def test_flip_bits_duplicate_indices_cancel(self):
+        assert flip_bits(0b1, [0, 0]) == 0b1
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 511) | 1) == 2
+
+    def test_parity(self):
+        assert parity(0) == 0
+        assert parity(0b111) == 1
+        assert parity(0b11) == 0
+
+
+class TestConversions:
+    def test_bytes_int_roundtrip(self):
+        data = bytes(range(64))
+        assert int_to_bytes(bytes_to_int(data)) == data
+
+    def test_little_endian_convention(self):
+        # Bit k of the int is bit k%8 of byte k//8.
+        data = b"\x01" + b"\x00" * 63
+        assert bytes_to_int(data) == 1
+        data = b"\x00" * 8 + b"\x80" + b"\x00" * 55
+        assert bytes_to_int(data) == 1 << 71
+
+    def test_words_roundtrip(self):
+        words = [i * 0x0101010101010101 for i in range(8)]
+        assert bytes_to_words(words_to_bytes(words)) == words
+        assert int_to_words(words_to_int(words)) == words
+
+    def test_bytes_to_words_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            bytes_to_words(b"\x00" * 7)
+
+    def test_word0_is_low_bits(self):
+        value = 0xDEADBEEF
+        assert int_to_words(value)[0] == 0xDEADBEEF
+        assert int_to_words(value)[1] == 0
+
+    @given(lines)
+    @settings(max_examples=50)
+    def test_int_bytes_roundtrip_property(self, value):
+        assert bytes_to_int(int_to_bytes(value)) == value
+
+    @given(lines)
+    @settings(max_examples=50)
+    def test_words_int_roundtrip_property(self, value):
+        assert words_to_int(int_to_words(value)) == value
+
+
+class TestPinSymbols:
+    def test_symbol_count_and_width(self):
+        symbols = extract_pin_symbols((1 << LINE_BITS) - 1)
+        assert len(symbols) == 64
+        assert all(s == 0xFF for s in symbols)
+
+    def test_pin_maps_to_beat_bits(self):
+        # Pin 3 carries bit 3 of each beat: set beat 0 and beat 5.
+        line = (1 << 3) | (1 << (5 * 64 + 3))
+        symbols = extract_pin_symbols(line)
+        assert symbols[3] == 0b100001
+        assert sum(symbols) == symbols[3]
+
+    @given(lines)
+    @settings(max_examples=30)
+    def test_pin_symbol_roundtrip(self, line):
+        assert pin_symbols_to_int(extract_pin_symbols(line)) == line
+
+    @given(lines, st.integers(0, 63), st.integers(0, 255))
+    @settings(max_examples=30)
+    def test_insert_then_extract(self, line, pin, symbol):
+        updated = insert_pin_symbol(line, pin, symbol)
+        assert extract_pin_symbols(updated)[pin] == symbol
+        # Other pins untouched.
+        before = extract_pin_symbols(line)
+        after = extract_pin_symbols(updated)
+        for p in range(64):
+            if p != pin:
+                assert before[p] == after[p]
+
+
+class TestChipBits:
+    def test_x4_chip_extraction(self):
+        # Chip 2 of 16 x4 chips drives pins 8..11 of every beat.
+        line = 0xF << 8  # beat 0 only
+        assert extract_chip_bits(line, 2, 4, 16) == 0xF
+        assert extract_chip_bits(line, 3, 4, 16) == 0
+
+    def test_x8_chip_extraction(self):
+        line = 0xFF << (64 + 8)  # beat 1, chip 1
+        assert extract_chip_bits(line, 1, 8, 8) == 0xFF00
+
+    @given(lines, st.integers(0, 15), st.integers(0, (1 << 32) - 1))
+    @settings(max_examples=30)
+    def test_insert_then_extract_chip(self, line, chip, value):
+        updated = insert_chip_bits(line, chip, value, 4, 16)
+        assert extract_chip_bits(updated, chip, 4, 16) == value
+        for c in range(16):
+            if c != chip:
+                assert extract_chip_bits(updated, c, 4, 16) == extract_chip_bits(
+                    line, c, 4, 16
+                )
+
+    def test_chips_partition_the_line(self):
+        rng = random.Random(1)
+        line = rng.getrandbits(LINE_BITS)
+        rebuilt = 0
+        for chip in range(16):
+            rebuilt = insert_chip_bits(
+                rebuilt, chip, extract_chip_bits(line, chip, 4, 16), 4, 16
+            )
+        assert rebuilt == line
+
+
+def test_random_line_length_and_determinism():
+    a = random_line(random.Random(7))
+    b = random_line(random.Random(7))
+    assert len(a) == LINE_BYTES
+    assert a == b

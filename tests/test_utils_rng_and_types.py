@@ -1,0 +1,75 @@
+"""Tests for RNG plumbing and the shared result types."""
+
+import pytest
+
+from repro.core.types import AccessCosts, ControllerStats, ReadResult, ReadStatus
+from repro.utils.rng import derive_seed, make_np_rng, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_salts_matter(self):
+        assert derive_seed(1, 2) != derive_seed(1, 3)
+        assert derive_seed(1, 2, 3) != derive_seed(1, 3, 2)
+
+    def test_nearby_parents_decorrelate(self):
+        a = derive_seed(1000, 7)
+        b = derive_seed(1001, 7)
+        # splitmix-style mixing: high hamming distance expected.
+        assert bin(a ^ b).count("1") > 16
+
+    def test_fits_64_bits(self):
+        assert derive_seed(2 ** 80, 2 ** 90) >> 64 == 0
+
+    def test_make_rngs(self):
+        assert make_rng(5).random() == make_rng(5).random()
+        assert make_np_rng(5).random() == make_np_rng(5).random()
+
+
+class TestReadResult:
+    def test_ok_and_due_flags(self):
+        good = ReadResult(b"\x00" * 64, ReadStatus.CLEAN)
+        bad = ReadResult(b"\x00" * 64, ReadStatus.DETECTED_UE)
+        assert good.ok and not good.due
+        assert bad.due and not bad.ok
+
+    def test_default_costs(self):
+        result = ReadResult(b"\x00" * 64, ReadStatus.CLEAN)
+        assert result.costs.mac_checks == 0
+        assert result.costs.latency_cycles == 0
+        assert result.corrected_location is None
+
+
+class TestControllerStats:
+    def _observe(self, status, silent=False):
+        stats = ControllerStats()
+        stats.observe(
+            ReadResult(b"\x00" * 64, status, AccessCosts(mac_checks=2,
+                                                         correction_iterations=3)),
+            silent,
+        )
+        return stats
+
+    @pytest.mark.parametrize(
+        "status,field",
+        [
+            (ReadStatus.CLEAN, "clean_reads"),
+            (ReadStatus.CORRECTED_BIT, "corrected_bit"),
+            (ReadStatus.CORRECTED_COLUMN, "corrected_column"),
+            (ReadStatus.CORRECTED_CHIP, "corrected_chip"),
+            (ReadStatus.SERVICED_BY_SPARE, "spare_hits"),
+            (ReadStatus.DETECTED_UE, "dues"),
+        ],
+    )
+    def test_each_status_counted(self, status, field):
+        stats = self._observe(status)
+        assert getattr(stats, field) == 1
+        assert stats.reads == 1
+        assert stats.mac_checks == 2
+        assert stats.correction_iterations == 3
+
+    def test_silent_flag(self):
+        stats = self._observe(ReadStatus.CLEAN, silent=True)
+        assert stats.silent_corruptions == 1

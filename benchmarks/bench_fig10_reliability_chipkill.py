@@ -1,13 +1,16 @@
 """Figure 10: Chipkill vs. SafeGuard-Chipkill reliability (1x and 10x FIT)."""
 
-from conftest import BENCH_MODULES, once
+from conftest import BENCH_MODULES, BENCH_WORKERS, once
 
 from repro.experiments import fig10_reliability_chipkill
 
 
 def test_fig10_reliability(benchmark):
     results = once(
-        benchmark, fig10_reliability_chipkill.run, n_modules=BENCH_MODULES // 2
+        benchmark,
+        fig10_reliability_chipkill.run,
+        n_modules=BENCH_MODULES // 2,
+        workers=BENCH_WORKERS,
     )
     fig10_reliability_chipkill.report(results)
     for multiplier, (chipkill, safeguard) in results.items():

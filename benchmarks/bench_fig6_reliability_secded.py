@@ -1,12 +1,17 @@
 """Figure 6: SECDED vs. SafeGuard reliability over 7 years."""
 
-from conftest import BENCH_MODULES, once
+from conftest import BENCH_MODULES, BENCH_WORKERS, once
 
 from repro.experiments import fig6_reliability_secded
 
 
 def test_fig6_reliability(benchmark):
-    results = once(benchmark, fig6_reliability_secded.run, n_modules=BENCH_MODULES)
+    results = once(
+        benchmark,
+        fig6_reliability_secded.run,
+        n_modules=BENCH_MODULES,
+        workers=BENCH_WORKERS,
+    )
     fig6_reliability_secded.report(results)
     secded, no_parity, with_parity = results
     # Paper: ~1.25x without column parity; virtually identical with it.

@@ -16,6 +16,10 @@ BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", 120_000))
 BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", 30_000))
 #: Monte-Carlo module count for the reliability benches.
 BENCH_MODULES = int(os.environ.get("REPRO_BENCH_MODULES", 60_000))
+#: Worker processes for the sharded Monte-Carlo engine (fig6/fig10
+#: reliability benches). Parallelism never changes the science output,
+#: so full-scale runs can safely set this to the core count.
+BENCH_WORKERS = int(os.environ.get("REPRO_MC_WORKERS", 1))
 
 
 def once(benchmark, func, *args, **kwargs):

@@ -2,10 +2,22 @@
 """Paper-scale reliability runs: 10M modules, as in Section III-B.
 
 Reproduces Figures 6 and 10 at the paper's own Monte-Carlo scale
-(the interactive benches default to 60-200K modules). Takes a few
-minutes; prints probability-of-failure curves with 95% Wilson intervals.
+(the interactive benches default to 60-200K modules). Prints
+probability-of-failure curves with 95% Wilson intervals.
+
+The population is sharded across worker processes (bit-identical to a
+sequential run; see repro.faultsim.parallel) and each shard is
+checkpointed, so a killed run resumes where it left off::
+
+    PYTHONPATH=src python scripts/paper_scale_reliability.py \
+        --workers 8 --checkpoint-dir /tmp/mc-ckpt
+
+Worker default: --workers > REPRO_MC_WORKERS > all cores.
 """
 
+import argparse
+import os
+import sys
 import time
 
 from repro.experiments.reporting import format_table, print_banner
@@ -16,25 +28,52 @@ from repro.faultsim.evaluators import (
     SECDEDEvaluator,
 )
 from repro.faultsim.geometry import X4_CHIPKILL_16GB, X8_SECDED_16GB
-from repro.faultsim.montecarlo import MonteCarloConfig, simulate
+from repro.faultsim.montecarlo import MonteCarloConfig
+from repro.faultsim.parallel import WORKERS_ENV, simulate_parallel
 
 SECDED_MODULES = 10_000_000
 CHIPKILL_MODULES = 2_000_000
 
 
-def run_figure6():
-    print_banner(f"Figure 6 at paper scale ({SECDED_MODULES:,} modules)")
-    config = MonteCarloConfig(n_modules=SECDED_MODULES, seed=42)
+def _progress(stats):
+    end = "\n" if stats.shards_done == stats.shards_total else "\r"
+    print(f"  {stats.describe()}", end=end, file=sys.stderr, flush=True)
+
+
+def _checkpoint_dir(base, label):
+    """Per-(figure, scheme) subdirectory so shard files never collide."""
+    if base is None:
+        return None
+    return os.path.join(base, label)
+
+
+def _simulate(evaluator, geometry, config, args, label):
+    return simulate_parallel(
+        evaluator,
+        geometry,
+        config,
+        workers=args.workers,
+        checkpoint_dir=_checkpoint_dir(args.checkpoint_dir, label),
+        progress=_progress if not args.quiet else None,
+    )
+
+
+def run_figure6(args):
+    n_modules = args.secded_modules
+    print_banner(f"Figure 6 at paper scale ({n_modules:,} modules)")
+    config = MonteCarloConfig(n_modules=n_modules, seed=42)
     geometry = X8_SECDED_16GB
     rows = []
     baseline = None
-    for evaluator in (
-        SECDEDEvaluator(geometry),
-        SafeGuardSECDEDEvaluator(geometry, column_parity=False),
-        SafeGuardSECDEDEvaluator(geometry, column_parity=True),
+    for index, evaluator in enumerate(
+        (
+            SECDEDEvaluator(geometry),
+            SafeGuardSECDEDEvaluator(geometry, column_parity=False),
+            SafeGuardSECDEDEvaluator(geometry, column_parity=True),
+        )
     ):
         t0 = time.time()
-        result = simulate(evaluator, geometry, config)
+        result = _simulate(evaluator, geometry, config, args, f"fig6-{index}")
         low, high = result.confidence_interval()
         if baseline is None:
             baseline = result
@@ -53,20 +92,22 @@ def run_figure6():
     ))
 
 
-def run_figure10():
-    print_banner(f"Figure 10 at paper scale ({CHIPKILL_MODULES:,} modules)")
+def run_figure10(args):
+    n_modules = args.chipkill_modules
+    print_banner(f"Figure 10 at paper scale ({n_modules:,} modules)")
     geometry = X4_CHIPKILL_16GB
     rows = []
     for multiplier in (1.0, 10.0):
         config = MonteCarloConfig(
-            n_modules=CHIPKILL_MODULES, seed=42, fit_multiplier=multiplier
+            n_modules=n_modules, seed=42, fit_multiplier=multiplier
         )
         for evaluator in (
             ChipkillEvaluator(geometry),
             SafeGuardChipkillEvaluator(geometry),
         ):
             t0 = time.time()
-            result = simulate(evaluator, geometry, config)
+            label = f"fig10-{multiplier:g}x-{evaluator.name}"
+            result = _simulate(evaluator, geometry, config, args, label)
             low, high = result.confidence_interval()
             rows.append(
                 (
@@ -83,6 +124,47 @@ def run_figure10():
     ))
 
 
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=f"worker processes (default: ${WORKERS_ENV} or all cores)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-shard checkpoints; rerun to resume",
+    )
+    parser.add_argument(
+        "--secded-modules", type=int, default=SECDED_MODULES,
+        help="Figure 6 population (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--chipkill-modules", type=int, default=CHIPKILL_MODULES,
+        help="Figure 10 population (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--figure", choices=["6", "10", "all"], default="all",
+        help="which figure to run (default: all)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the progress line"
+    )
+    args = parser.parse_args(argv)
+    if args.workers is None and not os.environ.get(WORKERS_ENV):
+        args.workers = os.cpu_count() or 1
+    return args
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    if args.figure in ("6", "all"):
+        run_figure6(args)
+    if args.figure in ("10", "all"):
+        run_figure10(args)
+
+
 if __name__ == "__main__":
-    run_figure6()
-    run_figure10()
+    main()

@@ -2,9 +2,14 @@
 
 Usage::
 
-    python -m repro list            # available experiments
-    python -m repro fig6            # one experiment
-    python -m repro all             # everything (interactive scale)
+    python -m repro list                # available experiments
+    python -m repro fig6                # one experiment
+    python -m repro fig6 --workers 8    # parallel Monte-Carlo (same output)
+    python -m repro all                 # everything (interactive scale)
+
+``--workers N`` (or the ``REPRO_MC_WORKERS`` environment variable) fans
+the Monte-Carlo reliability experiments across N processes; results are
+bit-identical to the sequential run.
 """
 
 import sys
@@ -12,8 +17,37 @@ import sys
 from repro.experiments.runner import experiment_names, run_all, run_experiment
 
 
+def _parse_workers(argv):
+    """Pop ``--workers N`` / ``--workers=N`` from argv; None if absent."""
+    workers = None
+    remaining = []
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--workers":
+            if index + 1 >= len(argv):
+                raise ValueError("--workers requires a value")
+            workers = int(argv[index + 1])
+            index += 2
+            continue
+        if arg.startswith("--workers="):
+            workers = int(arg.split("=", 1)[1])
+            index += 1
+            continue
+        remaining.append(arg)
+        index += 1
+    if workers is not None and workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {workers}")
+    return workers, remaining
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        workers, argv = _parse_workers(argv)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     if not argv or argv[0] in ("-h", "--help", "help"):
         print(__doc__)
         print("Experiments:", ", ".join(experiment_names()))
@@ -24,10 +58,10 @@ def main(argv=None) -> int:
             print(experiment)
         return 0
     if name == "all":
-        run_all()
+        run_all(workers=workers)
         return 0
     try:
-        run_experiment(name)
+        run_experiment(name, workers=workers)
     except KeyError as error:
         print(error, file=sys.stderr)
         return 2

@@ -36,7 +36,7 @@ class CacheHierarchy:
         self,
         n_cores: int,
         organization,
-        controller: MemoryController = None,
+        controller: Optional[MemoryController] = None,
         l1_kb: int = 32,
         llc_mb: int = 4,
         line_bytes: int = 64,

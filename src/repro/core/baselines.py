@@ -37,7 +37,7 @@ from repro.utils.bits import bytes_to_int, extract_chip_bits, insert_chip_bits, 
 class ConventionalSECDED:
     """Word-granularity SECDED ECC DIMM (the paper's SECDED baseline)."""
 
-    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
         self.config = config or SafeGuardConfig()
         self.backend = backend or MemoryBackend()
         self._code = WordSECDEDLine()
@@ -74,7 +74,7 @@ class ConventionalSECDED:
 class ConventionalChipkill:
     """x4 symbol-based Chipkill DIMM (the paper's Chipkill baseline)."""
 
-    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
         self.config = config or SafeGuardConfig()
         self.backend = backend or MemoryBackend()
         self._code = ChipkillCode()
@@ -132,7 +132,7 @@ class SGXStyleMAC:
     WRITE_EXTRA_ACCESSES = 1
     STORAGE_OVERHEAD = 0.125
 
-    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
         self.config = config or SafeGuardConfig()
         self.backend = backend or MemoryBackend()
         self._code = WordSECDEDLine()
@@ -194,7 +194,7 @@ class SynergyStyleMAC:
     WRITE_EXTRA_ACCESSES = 1
     STORAGE_OVERHEAD = 0.125
 
-    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
         self.config = config or SafeGuardConfig()
         self.backend = backend or MemoryBackend()
         self._mac = LineMAC(self.config.key, self.MAC_BITS)

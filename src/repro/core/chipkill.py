@@ -50,7 +50,7 @@ N_CORRECTION_CANDIDATES = 17  #: data chips + MAC chip (parity chip needs no sea
 class SafeGuardChipkill:
     """SafeGuard memory controller for x4 Chipkill modules."""
 
-    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
         self.config = config or SafeGuardConfig()
         self.backend = backend or MemoryBackend()
         self.mac_bits = self.config.chipkill_mac_bits()

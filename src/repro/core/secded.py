@@ -46,7 +46,7 @@ _COLUMN_PARITY_BITS = 8
 class SafeGuardSECDED:
     """SafeGuard memory controller for x8 SECDED modules."""
 
-    def __init__(self, config: SafeGuardConfig = None, backend: MemoryBackend = None):
+    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
         self.config = config or SafeGuardConfig()
         self.backend = backend or MemoryBackend()
         self.mac_bits = self.config.secded_mac_bits()

@@ -32,7 +32,7 @@ class CoreConfig:
 class Core:
     """One core consuming a :class:`~repro.cpu.trace.MemOp` stream."""
 
-    def __init__(self, core_id: int, ops: Iterator[MemOp], config: CoreConfig = None):
+    def __init__(self, core_id: int, ops: Iterator[MemOp], config: Optional[CoreConfig] = None):
         self.core_id = core_id
         self.config = config or CoreConfig()
         self._ops = ops

@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cpu.core import Core, CoreConfig
@@ -75,8 +75,8 @@ class System:
         organization,
         n_cores: int = 4,
         seed: int = 0,
-        core_config: CoreConfig = None,
-        hierarchy: CacheHierarchy = None,
+        core_config: Optional[CoreConfig] = None,
+        hierarchy: Optional[CacheHierarchy] = None,
         sources: "List | None" = None,
     ):
         """``sources`` optionally replaces the synthetic per-core trace

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dram.address_map import AddressMapper
 from repro.dram.bank import Bank
@@ -71,7 +71,7 @@ class MemoryController:
     def __init__(
         self,
         timing: DramTiming = DDR4_3200,
-        mapper: AddressMapper = None,
+        mapper: Optional[AddressMapper] = None,
         enable_refresh: bool = True,
         page_policy: str = "open",
     ):

@@ -7,7 +7,7 @@ standard primitive polynomial. :data:`GF16` (symbols of x4 DRAM chips) and
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 #: Standard primitive polynomials (including the x^m term), indexed by m.
 PRIMITIVE_POLYS = {
@@ -27,7 +27,7 @@ PRIMITIVE_POLYS = {
 class GF2m:
     """The finite field GF(2^m) with exp/log tables."""
 
-    def __init__(self, m: int, primitive_poly: int = None):
+    def __init__(self, m: int, primitive_poly: Optional[int] = None):
         if primitive_poly is None:
             try:
                 primitive_poly = PRIMITIVE_POLYS[m]

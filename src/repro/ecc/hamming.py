@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.utils.bits import bit_get, parity
 
@@ -47,7 +47,7 @@ class DecodeResult:
     data: int
     status: DecodeStatus
     #: 0-based index into the *codeword* of the corrected bit, or None.
-    corrected_bit: int = None
+    corrected_bit: Optional[int] = None
 
     @property
     def ok(self) -> bool:

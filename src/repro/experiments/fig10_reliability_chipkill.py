@@ -8,31 +8,41 @@ silently miscorrect.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.reporting import format_table, print_banner
 from repro.faultsim.evaluators import ChipkillEvaluator, SafeGuardChipkillEvaluator
 from repro.faultsim.geometry import X4_CHIPKILL_16GB
-from repro.faultsim.montecarlo import MonteCarloConfig, ReliabilityResult, simulate
+from repro.faultsim.montecarlo import MonteCarloConfig, ReliabilityResult
+from repro.faultsim.parallel import ProgressCallback, simulate_parallel
 
 
 def run(
-    n_modules: int = 100_000, seed: int = 42, fit_multipliers: Tuple[float, ...] = (1.0, 10.0)
+    n_modules: int = 100_000,
+    seed: int = 42,
+    fit_multipliers: Tuple[float, ...] = (1.0, 10.0),
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[float, List[ReliabilityResult]]:
+    """``workers``/``REPRO_MC_WORKERS`` parallelize without changing output."""
     geometry = X4_CHIPKILL_16GB
     out: Dict[float, List[ReliabilityResult]] = {}
     for multiplier in fit_multipliers:
         config = MonteCarloConfig(
-            n_modules=n_modules, seed=seed, fit_multiplier=multiplier
+            n_modules=n_modules, seed=seed, fit_multiplier=multiplier, workers=workers
         )
         out[multiplier] = [
-            simulate(ChipkillEvaluator(geometry), geometry, config),
-            simulate(SafeGuardChipkillEvaluator(geometry), geometry, config),
+            simulate_parallel(
+                ChipkillEvaluator(geometry), geometry, config, progress=progress
+            ),
+            simulate_parallel(
+                SafeGuardChipkillEvaluator(geometry), geometry, config, progress=progress
+            ),
         ]
     return out
 
 
-def report(results: Dict[float, List[ReliabilityResult]] = None) -> str:
+def report(results: Optional[Dict[float, List[ReliabilityResult]]] = None) -> str:
     results = results or run()
     print_banner("Figure 10: probability of system failure (x4 16GB, 7 years)")
     years = [1, 3, 5, 7]

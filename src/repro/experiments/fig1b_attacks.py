@@ -12,7 +12,7 @@ in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.experiments.reporting import format_table, print_banner
 from repro.rowhammer.attacks import double_sided, half_double, many_sided
@@ -66,7 +66,7 @@ def run(
     return cells
 
 
-def report(cells: List[Cell] = None) -> str:
+def report(cells: Optional[List[Cell]] = None) -> str:
     cells = cells or run()
     print_banner("Figure 1b: attack patterns vs. precise RH mitigations")
     rows = [

@@ -12,7 +12,7 @@ uncorrectable error — a reliability event.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.baselines import ConventionalChipkill, ConventionalSECDED
 from repro.core.chipkill import SafeGuardChipkill
@@ -76,7 +76,7 @@ def run(
     return totals
 
 
-def report(outcomes: List[ConsumptionOutcome] = None) -> str:
+def report(outcomes: Optional[List[ConsumptionOutcome]] = None) -> str:
     outcomes = outcomes or run()
     print_banner("Figure 1c: consumption of breakthrough RH bit-flips")
     rows = [

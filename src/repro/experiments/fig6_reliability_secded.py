@@ -11,27 +11,37 @@ involve fault modes whose detection is not guaranteed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.experiments.reporting import format_table, print_banner
 from repro.faultsim.evaluators import SafeGuardSECDEDEvaluator, SECDEDEvaluator
 from repro.faultsim.geometry import X8_SECDED_16GB
-from repro.faultsim.montecarlo import MonteCarloConfig, ReliabilityResult, simulate
+from repro.faultsim.montecarlo import MonteCarloConfig, ReliabilityResult
+from repro.faultsim.parallel import ProgressCallback, simulate_parallel
 from repro.utils import units
 
 
-def run(n_modules: int = 200_000, seed: int = 42) -> List[ReliabilityResult]:
-    config = MonteCarloConfig(n_modules=n_modules, seed=seed)
+def run(
+    n_modules: int = 200_000,
+    seed: int = 42,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[ReliabilityResult]:
+    """``workers``/``REPRO_MC_WORKERS`` parallelize without changing output."""
+    config = MonteCarloConfig(n_modules=n_modules, seed=seed, workers=workers)
     geometry = X8_SECDED_16GB
     evaluators = [
         SECDEDEvaluator(geometry),
         SafeGuardSECDEDEvaluator(geometry, column_parity=False),
         SafeGuardSECDEDEvaluator(geometry, column_parity=True),
     ]
-    return [simulate(evaluator, geometry, config) for evaluator in evaluators]
+    return [
+        simulate_parallel(evaluator, geometry, config, progress=progress)
+        for evaluator in evaluators
+    ]
 
 
-def report(results: List[ReliabilityResult] = None) -> str:
+def report(results: Optional[List[ReliabilityResult]] = None) -> str:
     results = results or run()
     print_banner("Figure 6: probability of system failure (x8 16GB, 7 years)")
     years = [1, 2, 3, 4, 5, 6, 7]

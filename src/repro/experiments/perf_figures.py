@@ -49,14 +49,14 @@ def _run(
 
 
 def run_fig7(
-    workloads: Optional[Sequence[str]] = None, config: PerfConfig = None
+    workloads: Optional[Sequence[str]] = None, config: Optional[PerfConfig] = None
 ) -> PerfFigure:
     """Figure 7/11: SafeGuard vs. conventional ECC."""
     return _run([safeguard(8)], workloads, config or PerfConfig())
 
 
 def run_fig12(
-    workloads: Optional[Sequence[str]] = None, config: PerfConfig = None
+    workloads: Optional[Sequence[str]] = None, config: Optional[PerfConfig] = None
 ) -> PerfFigure:
     """Figure 12: SafeGuard vs. SGX-style vs. Synergy-style MAC."""
     return _run(
@@ -69,7 +69,7 @@ def run_fig12(
 def run_fig13(
     latencies: Sequence[int] = (8, 24, 40, 56, 80),
     workloads: Optional[Sequence[str]] = None,
-    config: PerfConfig = None,
+    config: Optional[PerfConfig] = None,
 ) -> Dict[int, PerfFigure]:
     """Figure 13: sensitivity to MAC latency for the three organizations."""
     config = config or PerfConfig()

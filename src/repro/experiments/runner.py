@@ -4,11 +4,17 @@ Used by the CLI (``python -m repro <experiment>``) and handy from a REPL::
 
     from repro.experiments.runner import run_experiment, EXPERIMENTS
     run_experiment("fig6")
+    run_experiment("fig6", workers=8)   # parallel Monte-Carlo, same output
+
+Every runner accepts an optional ``workers`` count; the Monte-Carlo
+experiments (fig6/fig10) fan their module population across that many
+processes (see :mod:`repro.faultsim.parallel`), the rest ignore it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import sys
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     fig1b_attacks,
@@ -25,44 +31,59 @@ from repro.experiments import (
     table4_resiliency,
     table5_storage,
 )
+from repro.faultsim.parallel import ProgressStats
 from repro.perf.model import PerfConfig
 
 
-def _table1() -> None:
+def _print_progress(stats: ProgressStats) -> None:
+    """Carriage-return progress line for interactive parallel runs."""
+    end = "\n" if stats.shards_done == stats.shards_total else "\r"
+    print(f"  {stats.describe()}", end=end, file=sys.stderr, flush=True)
+
+
+def _table1(workers: Optional[int] = None) -> None:
     table1_thresholds.report()
 
 
-def _table2() -> None:
+def _table2(workers: Optional[int] = None) -> None:
     table2_table3_config.report_table2()
 
 
-def _table3() -> None:
+def _table3(workers: Optional[int] = None) -> None:
     table2_table3_config.report_table3()
 
 
-def _table4() -> None:
+def _table4(workers: Optional[int] = None) -> None:
     table4_resiliency.report(table4_resiliency.run(trials=60))
 
 
-def _table5() -> None:
+def _table5(workers: Optional[int] = None) -> None:
     table5_storage.report()
 
 
-def _fig1b() -> None:
+def _fig1b(workers: Optional[int] = None) -> None:
     fig1b_attacks.report(fig1b_attacks.run())
 
 
-def _fig1c() -> None:
+def _fig1c(workers: Optional[int] = None) -> None:
     fig1c_detection.report(fig1c_detection.run())
 
 
-def _fig6() -> None:
-    fig6_reliability_secded.report(fig6_reliability_secded.run(n_modules=100_000))
+def _fig6(workers: Optional[int] = None) -> None:
+    progress = _print_progress if workers and workers > 1 else None
+    fig6_reliability_secded.report(
+        fig6_reliability_secded.run(
+            n_modules=100_000, workers=workers, progress=progress
+        )
+    )
 
 
-def _fig10() -> None:
+def _fig10(workers: Optional[int] = None) -> None:
+    progress = _print_progress if workers and workers > 1 else None
     fig10_reliability_chipkill.report(
-        fig10_reliability_chipkill.run(n_modules=50_000)
+        fig10_reliability_chipkill.run(
+            n_modules=50_000, workers=workers, progress=progress
+        )
     )
 
 
@@ -70,21 +91,21 @@ _PERF_CONFIG = PerfConfig(instructions_per_core=150_000, warmup_instructions=40_
 _PERF_WORKLOADS = ["perlbench", "gcc", "mcf", "omnetpp", "leela", "bwaves", "lbm", "roms"]
 
 
-def _fig7() -> None:
+def _fig7(workers: Optional[int] = None) -> None:
     perf_figures.report_per_workload(
         perf_figures.run_fig7(workloads=_PERF_WORKLOADS, config=_PERF_CONFIG),
         "Figure 7: SafeGuard vs. conventional ECC",
     )
 
 
-def _fig12() -> None:
+def _fig12(workers: Optional[int] = None) -> None:
     perf_figures.report_per_workload(
         perf_figures.run_fig12(workloads=_PERF_WORKLOADS, config=_PERF_CONFIG),
         "Figure 12: per-line MAC organizations",
     )
 
 
-def _fig13() -> None:
+def _fig13(workers: Optional[int] = None) -> None:
     perf_figures.report_fig13(
         perf_figures.run_fig13(
             latencies=(8, 40, 80),
@@ -94,25 +115,25 @@ def _fig13() -> None:
     )
 
 
-def _sec4b() -> None:
+def _sec4b(workers: Optional[int] = None) -> None:
     sec4b_birthday.report()
 
 
-def _sec4c() -> None:
+def _sec4c(workers: Optional[int] = None) -> None:
     sec4c_column_recovery.report()
 
 
-def _sec7() -> None:
+def _sec7(workers: Optional[int] = None) -> None:
     sec7_security.report()
 
 
-def _sec7e() -> None:
+def _sec7e(workers: Optional[int] = None) -> None:
     sec7e_mac_escape.report()
 
 
 #: Experiment name -> runner. ``fig11`` aliases ``fig7`` (the SafeGuard
 #: data path is identical in both organizations; see perf_figures).
-EXPERIMENTS: Dict[str, Callable[[], None]] = {
+EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "table1": _table1,
     "table2": _table2,
     "table3": _table3,
@@ -138,7 +159,7 @@ def experiment_names() -> List[str]:
     return sorted(EXPERIMENTS)
 
 
-def run_experiment(name: str) -> None:
+def run_experiment(name: str, workers: Optional[int] = None) -> None:
     """Run one experiment by name; raises KeyError for unknown names."""
     try:
         runner = EXPERIMENTS[name]
@@ -146,14 +167,14 @@ def run_experiment(name: str) -> None:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(experiment_names())}"
         ) from None
-    runner()
+    runner(workers=workers)
 
 
-def run_all() -> None:
+def run_all(workers: Optional[int] = None) -> None:
     """Run every experiment at interactive scale."""
     seen = set()
     for name, runner in EXPERIMENTS.items():
         if runner in seen:
             continue
         seen.add(runner)
-        run_experiment(name)
+        run_experiment(name, workers=workers)

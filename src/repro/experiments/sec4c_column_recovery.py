@@ -12,7 +12,7 @@ approximately one MAC check").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import SafeGuardConfig
 from repro.core.secded import SafeGuardSECDED
@@ -71,7 +71,7 @@ def run(pin: int = 29, reads: int = 8, seed: int = 9) -> List[RecoveryPoint]:
     return points
 
 
-def report(points: List[RecoveryPoint] = None) -> str:
+def report(points: Optional[List[RecoveryPoint]] = None) -> str:
     points = points or run()
     print_banner("Section IV-C: iterative column recovery (measured data path)")
     table = format_table(

@@ -20,6 +20,8 @@ Four sub-experiments corresponding to Sections VII-B through VII-E:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import random
 from dataclasses import dataclass
 
@@ -90,7 +92,7 @@ def run(seed: int = 7) -> SecurityReport:
     )
 
 
-def report(r: SecurityReport = None) -> str:
+def report(r: Optional[SecurityReport] = None) -> str:
     r = r or run()
     print_banner("Section VII: security discussion (measured)")
     rows = [

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.experiments.reporting import format_table, print_banner
 from repro.rowhammer.thresholds import RH_THRESHOLDS, ThresholdEntry, reduction_factor
@@ -12,7 +12,7 @@ def run() -> List[ThresholdEntry]:
     return list(RH_THRESHOLDS)
 
 
-def report(entries: List[ThresholdEntry] = None) -> str:
+def report(entries: Optional[List[ThresholdEntry]] = None) -> str:
     entries = entries or run()
     print_banner("Table I: Row-Hammer Threshold Over Time")
     rows: List[Tuple[str, str]] = []

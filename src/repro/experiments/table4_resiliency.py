@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.baselines import ConventionalSECDED
 from repro.core.config import SafeGuardConfig
@@ -148,7 +148,7 @@ def run(trials: int = 60, seed: int = 11) -> List[ModeScore]:
     return scores
 
 
-def report(scores: List[ModeScore] = None) -> str:
+def report(scores: Optional[List[ModeScore]] = None) -> str:
     scores = scores or run()
     print_banner("Table IV: resiliency of SECDED vs. SafeGuard (measured)")
     by_mode: Dict[str, Dict[str, ModeScore]] = {}

@@ -17,6 +17,9 @@ first detected-uncorrectable (DUE) or silently-escaping (SDC) event.
   SafeGuard-Chipkill).
 - :mod:`repro.faultsim.montecarlo` — the driver producing
   probability-of-system-failure curves (Figures 6 and 10).
+- :mod:`repro.faultsim.parallel` — the sharded multi-process engine
+  (checkpoint/resume, progress reporting) producing results
+  bit-identical to the sequential driver.
 """
 
 from repro.faultsim.fit import FaultMode, FAULT_MODES, total_fit, scale_fit
@@ -29,7 +32,20 @@ from repro.faultsim.evaluators import (
     ChipkillEvaluator,
     SafeGuardChipkillEvaluator,
 )
-from repro.faultsim.montecarlo import MonteCarloConfig, ReliabilityResult, simulate
+from repro.faultsim.montecarlo import (
+    FailureRecord,
+    MonteCarloConfig,
+    ReliabilityResult,
+    merge_results,
+    simulate,
+)
+from repro.faultsim.parallel import (
+    ProgressStats,
+    Shard,
+    plan_shards,
+    resolve_workers,
+    simulate_parallel,
+)
 
 __all__ = [
     "FaultMode",
@@ -49,5 +65,12 @@ __all__ = [
     "SafeGuardChipkillEvaluator",
     "MonteCarloConfig",
     "ReliabilityResult",
+    "FailureRecord",
+    "merge_results",
     "simulate",
+    "simulate_parallel",
+    "plan_shards",
+    "resolve_workers",
+    "ProgressStats",
+    "Shard",
 ]

@@ -10,7 +10,21 @@ SDC. The output is the fraction of failed modules versus time.
 The paper simulates 10M devices; that is feasible here too (the
 simulation is event-driven and ~93% of modules draw zero faults) but the
 default is 200K modules, which already gives tight confidence intervals
-for the probabilities involved. Pass ``n_modules`` to scale up.
+for the probabilities involved. Pass ``n_modules`` to scale up, and see
+:mod:`repro.faultsim.parallel` for the sharded multi-process engine that
+produces bit-identical results on many cores.
+
+Determinism contract (relied on by the parallel engine):
+
+- per-module fault *counts* come from one batched Poisson draw seeded
+  with ``derive_seed(seed, 0xFA017)`` — :func:`draw_fault_counts`;
+- each busy module's faults are generated from its own
+  ``random.Random(derive_seed(seed, 0x51A7, module_index))`` stream.
+
+A shard covering global module indices ``[lo, hi)`` therefore reproduces
+exactly the modules the sequential loop would have simulated, and merging
+shard results (:meth:`ReliabilityResult.merge`) reconstructs the
+sequential output bit-for-bit.
 """
 
 from __future__ import annotations
@@ -46,6 +60,58 @@ class MonteCarloConfig:
     modes: Sequence[FaultMode] = field(default_factory=lambda: list(FAULT_MODES))
     #: Evaluation grid resolution in months.
     grid_months: int = 6
+    #: Worker processes for :func:`repro.faultsim.parallel.simulate_parallel`.
+    #: None defers to the ``REPRO_MC_WORKERS`` environment variable (and
+    #: finally to 1 = in-process). Never changes the science output.
+    workers: Optional[int] = None
+    #: Shard count for the parallel engine; None picks a multiple of the
+    #: worker count. Never changes the science output.
+    shards: Optional[int] = None
+    #: Directory for per-shard checkpoint files; None disables
+    #: checkpointing. A re-run with the same config resumes, skipping
+    #: shards whose checkpoints verify.
+    checkpoint_dir: Optional[str] = None
+
+    def science_fingerprint(self, scheme: str, geometry: ModuleGeometry) -> dict:
+        """The output-determining knobs, as a JSON-friendly dict.
+
+        Used to validate checkpoints: two runs with equal fingerprints
+        produce identical results no matter how they are sharded.
+        """
+        return {
+            "scheme": scheme,
+            "geometry": geometry.name,
+            "n_modules": self.n_modules,
+            "years": self.years,
+            "seed": self.seed,
+            "fit_multiplier": self.fit_multiplier,
+            "scrub_interval_hours": self.scrub_interval_hours,
+            "grid_months": self.grid_months,
+            "modes": [
+                [m.scope.value, m.transient_fit, m.permanent_fit]
+                for m in self.modes
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One module's first failure, reduced to what the statistics need.
+
+    Small and JSON-serializable so shard checkpoints stay lightweight.
+    """
+
+    time_hours: float
+    outcome: Outcome
+    scope: str  #: ``Scope.value`` of the triggering fault
+
+    def to_json(self) -> list:
+        return [self.time_hours, self.outcome.value, self.scope]
+
+    @staticmethod
+    def from_json(payload: Sequence) -> "FailureRecord":
+        time_hours, outcome, scope = payload
+        return FailureRecord(float(time_hours), Outcome(outcome), str(scope))
 
 
 @dataclass
@@ -61,6 +127,10 @@ class ReliabilityResult:
     n_due: int
     n_sdc: int
     failures_by_scope: Dict[str, int]
+    #: Sorted first-failure times (hours). Carried so that shard results
+    #: merge exactly: the merged curve is recomputed from the pooled
+    #: times, not averaged from per-shard curves.
+    fail_times: List[float] = field(default_factory=list)
 
     @property
     def final_fail_probability(self) -> float:
@@ -95,12 +165,65 @@ class ReliabilityResult:
             return 0.0
         return self.fail_probability[min(index, len(self.fail_probability) - 1)]
 
+    @classmethod
+    def merge(cls, parts: Sequence["ReliabilityResult"]) -> "ReliabilityResult":
+        """Pool shard results into one, bit-identical to a sequential run.
 
-def simulate(
-    evaluator, geometry: ModuleGeometry, config: MonteCarloConfig = None
-) -> ReliabilityResult:
-    """Run the Monte-Carlo reliability simulation for one scheme."""
-    config = config or MonteCarloConfig()
+        The failure-probability curve is recomputed from the pooled
+        failure times over the pooled module count — exactly the
+        computation :func:`simulate` performs — so merging is associative
+        and order-independent, and the Wilson interval of the merged
+        result is the pooled-n interval. All parts must describe the same
+        scheme, lifetime, and evaluation grid.
+        """
+        if not parts:
+            raise ValueError("cannot merge zero ReliabilityResult shards")
+        head = parts[0]
+        for part in parts[1:]:
+            if part.scheme != head.scheme:
+                raise ValueError(
+                    f"scheme mismatch: {part.scheme!r} != {head.scheme!r}"
+                )
+            if part.years != head.years or part.grid_hours != head.grid_hours:
+                raise ValueError("evaluation grid mismatch between shards")
+        n_modules = sum(p.n_modules for p in parts)
+        fail_times = sorted(t for p in parts for t in p.fail_times)
+        by_scope: Dict[str, int] = {}
+        for part in parts:
+            for scope, count in part.failures_by_scope.items():
+                by_scope[scope] = by_scope.get(scope, 0) + count
+        fail_probability = [
+            bisect.bisect_right(fail_times, t) / n_modules
+            for t in head.grid_hours
+        ]
+        return cls(
+            scheme=head.scheme,
+            n_modules=n_modules,
+            years=head.years,
+            grid_hours=list(head.grid_hours),
+            fail_probability=fail_probability,
+            n_failed=sum(p.n_failed for p in parts),
+            n_due=sum(p.n_due for p in parts),
+            n_sdc=sum(p.n_sdc for p in parts),
+            failures_by_scope=by_scope,
+            fail_times=fail_times,
+        )
+
+
+def merge_results(parts: Sequence[ReliabilityResult]) -> ReliabilityResult:
+    """Module-level alias for :meth:`ReliabilityResult.merge`."""
+    return ReliabilityResult.merge(parts)
+
+
+def draw_fault_counts(
+    config: MonteCarloConfig, geometry: ModuleGeometry
+) -> np.ndarray:
+    """The single batched Poisson draw of per-module fault counts.
+
+    One array for the whole population, seeded independently of the
+    per-module streams; shards slice it by global module index so any
+    sharding reproduces the sequential counts exactly.
+    """
     total_hours = config.years * units.HOURS_PER_YEAR
     # Per-chip arrival rate across all modes (events per hour).
     lam_chip = (
@@ -109,8 +232,14 @@ def simulate(
         / units.FIT_HOURS
     )
     lam_module = lam_chip * geometry.total_chips * total_hours
+    np_rng = np.random.default_rng(derive_seed(config.seed, 0xFA017))
+    return np_rng.poisson(lam_module, config.n_modules)
 
-    # Categorical distribution over (mode, transient) pairs.
+
+def _mode_categories(
+    config: MonteCarloConfig,
+) -> Tuple[List[Tuple[FaultMode, bool]], np.ndarray]:
+    """Categorical distribution over (mode, transient) pairs."""
     categories: List[Tuple[FaultMode, bool]] = []
     weights: List[float] = []
     for mode in config.modes:
@@ -122,15 +251,39 @@ def simulate(
             weights.append(mode.permanent_fit)
     cumulative = np.cumsum(np.asarray(weights, dtype=float))
     cumulative /= cumulative[-1]
+    return categories, cumulative
 
-    np_rng = np.random.default_rng(derive_seed(config.seed, 0xFA017))
-    fault_counts = np_rng.poisson(lam_module, config.n_modules)
 
-    first_failures: List[Tuple[float, Outcome, FaultInstance]] = []
+def simulate_range(
+    evaluator,
+    geometry: ModuleGeometry,
+    config: MonteCarloConfig,
+    fault_counts: np.ndarray,
+    lo: int = 0,
+    hi: Optional[int] = None,
+) -> List[FailureRecord]:
+    """Simulate modules with global indices ``[lo, hi)``.
+
+    ``fault_counts`` is the slice ``draw_fault_counts(...)[lo:hi]`` (or
+    the full array when simulating everything). Each module is seeded
+    from its *global* index, so the union of any disjoint ranges covering
+    ``[0, n_modules)`` equals the sequential run.
+    """
+    if hi is None:
+        hi = lo + len(fault_counts)
+    if hi - lo != len(fault_counts):
+        raise ValueError(
+            f"fault_counts has {len(fault_counts)} entries for range [{lo}, {hi})"
+        )
+    total_hours = config.years * units.HOURS_PER_YEAR
+    categories, cumulative = _mode_categories(config)
+
+    records: List[FailureRecord] = []
     busy_modules = np.nonzero(fault_counts)[0]
-    for module_index in busy_modules:
-        rng = random.Random(derive_seed(config.seed, 0x51A7, int(module_index)))
-        n_faults = int(fault_counts[module_index])
+    for local_index in busy_modules:
+        module_index = lo + int(local_index)
+        rng = random.Random(derive_seed(config.seed, 0x51A7, module_index))
+        n_faults = int(fault_counts[local_index])
         times = sorted(rng.uniform(0.0, total_hours) for _ in range(n_faults))
         active: List[FaultInstance] = []
         for time_hours in times:
@@ -150,37 +303,69 @@ def simulate(
                 ]
             outcome = evaluator.classify(active, fault)
             if outcome.is_failure:
-                first_failures.append((time_hours, outcome, fault))
+                records.append(
+                    FailureRecord(time_hours, outcome, fault.scope.value)
+                )
                 break
             active.append(fault)
+    return records
 
-    # Build the failure-probability curve.
+
+def build_result(
+    scheme: str,
+    config: MonteCarloConfig,
+    records: Sequence[FailureRecord],
+    n_modules: Optional[int] = None,
+) -> ReliabilityResult:
+    """Fold failure records into a :class:`ReliabilityResult`.
+
+    ``n_modules`` defaults to ``config.n_modules``; shard results pass
+    their own population slice size so that merging re-weights exactly.
+    """
+    n_modules = config.n_modules if n_modules is None else n_modules
+    total_hours = config.years * units.HOURS_PER_YEAR
     n_points = max(1, int(config.years * 12 / config.grid_months))
-    grid_hours = [
-        (i + 1) * total_hours / n_points for i in range(n_points)
-    ]
-    fail_times = sorted(t for t, _, _ in first_failures)
+    grid_hours = [(i + 1) * total_hours / n_points for i in range(n_points)]
+    fail_times = sorted(r.time_hours for r in records)
     fail_probability = [
-        bisect.bisect_right(fail_times, t) / config.n_modules for t in grid_hours
+        bisect.bisect_right(fail_times, t) / n_modules for t in grid_hours
     ]
 
     by_scope: Dict[str, int] = {}
     n_due = n_sdc = 0
-    for _, outcome, fault in first_failures:
-        by_scope[fault.scope.value] = by_scope.get(fault.scope.value, 0) + 1
-        if outcome is Outcome.DUE:
+    for record in records:
+        by_scope[record.scope] = by_scope.get(record.scope, 0) + 1
+        if record.outcome is Outcome.DUE:
             n_due += 1
         else:
             n_sdc += 1
 
     return ReliabilityResult(
-        scheme=getattr(evaluator, "name", type(evaluator).__name__),
-        n_modules=config.n_modules,
+        scheme=scheme,
+        n_modules=n_modules,
         years=config.years,
         grid_hours=grid_hours,
         fail_probability=fail_probability,
-        n_failed=len(first_failures),
+        n_failed=len(records),
         n_due=n_due,
         n_sdc=n_sdc,
         failures_by_scope=by_scope,
+        fail_times=fail_times,
     )
+
+
+def scheme_name(evaluator) -> str:
+    """The display name the results carry for one evaluator."""
+    return getattr(evaluator, "name", type(evaluator).__name__)
+
+
+def simulate(
+    evaluator,
+    geometry: ModuleGeometry,
+    config: Optional[MonteCarloConfig] = None,
+) -> ReliabilityResult:
+    """Run the Monte-Carlo reliability simulation for one scheme."""
+    config = config or MonteCarloConfig()
+    fault_counts = draw_fault_counts(config, geometry)
+    records = simulate_range(evaluator, geometry, config, fault_counts)
+    return build_result(scheme_name(evaluator), config, records)

@@ -1,0 +1,322 @@
+"""Sharded, checkpointable Monte-Carlo engine.
+
+Splits the module population into deterministic shards and runs them
+across a :class:`concurrent.futures.ProcessPoolExecutor`. Because every
+module draws from its own seed stream (``derive_seed(seed, 0x51A7,
+global_index)``) and the per-module fault counts come from one batched
+Poisson draw (:func:`repro.faultsim.montecarlo.draw_fault_counts`), a
+shard covering global indices ``[lo, hi)`` simulates exactly the modules
+the sequential loop would have, and merging the shard results
+(:meth:`ReliabilityResult.merge`) reproduces :func:`simulate`
+**bit-for-bit** — worker count and shard count never change the science.
+
+Robustness and observability:
+
+- ``checkpoint_dir`` writes one JSON file per completed shard; a killed
+  run restarted with the same config loads verified checkpoints and only
+  recomputes the missing (or corrupted / mismatching) shards.
+- ``progress`` receives a :class:`ProgressStats` snapshot after every
+  shard completes (modules/sec, ETA, failures so far).
+
+Worker-count resolution order: explicit argument > ``config.workers`` >
+``REPRO_MC_WORKERS`` environment variable > 1 (in-process, no pool).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faultsim.geometry import ModuleGeometry
+from repro.faultsim.montecarlo import (
+    FailureRecord,
+    MonteCarloConfig,
+    ReliabilityResult,
+    build_result,
+    draw_fault_counts,
+    scheme_name,
+    simulate_range,
+)
+
+#: Environment variable consulted when neither the call nor the config
+#: pins a worker count (see the CLI's ``--workers``).
+WORKERS_ENV = "REPRO_MC_WORKERS"
+
+#: Checkpoint schema version; bumped if the payload layout changes.
+CHECKPOINT_VERSION = 1
+
+ProgressCallback = Callable[["ProgressStats"], None]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice ``[lo, hi)`` of the module population."""
+
+    index: int
+    lo: int
+    hi: int
+
+    @property
+    def n_modules(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass
+class ProgressStats:
+    """Snapshot handed to the progress callback after each shard."""
+
+    shards_done: int
+    shards_total: int
+    shards_from_checkpoint: int
+    modules_done: int
+    modules_total: int
+    failures_so_far: int
+    elapsed_s: float
+
+    @property
+    def modules_per_sec(self) -> float:
+        return self.modules_done / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def eta_s(self) -> float:
+        """Estimated seconds until completion (0 when done or unknown)."""
+        rate = self.modules_per_sec
+        remaining = self.modules_total - self.modules_done
+        return remaining / rate if rate > 0 and remaining > 0 else 0.0
+
+    @property
+    def fraction_done(self) -> float:
+        return self.modules_done / self.modules_total if self.modules_total else 1.0
+
+    def describe(self) -> str:
+        """One-line human summary (used by CLI/script progress printers)."""
+        return (
+            f"shard {self.shards_done}/{self.shards_total} "
+            f"({self.fraction_done:.0%}) "
+            f"{self.modules_per_sec:,.0f} modules/s "
+            f"eta {self.eta_s:.0f}s "
+            f"failures {self.failures_so_far}"
+        )
+
+
+def resolve_workers(
+    workers: Optional[int] = None, config: Optional[MonteCarloConfig] = None
+) -> int:
+    """Explicit argument > config > ``REPRO_MC_WORKERS`` env > 1."""
+    if workers is None and config is not None:
+        workers = config.workers
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            workers = int(env)
+    workers = 1 if workers is None else int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def plan_shards(n_modules: int, n_shards: int) -> List[Shard]:
+    """Split ``[0, n_modules)`` into ``n_shards`` near-equal slices.
+
+    Deterministic in its inputs (resume depends on the plan being
+    reproducible); every module lands in exactly one shard.
+    """
+    if n_modules < 0:
+        raise ValueError(f"n_modules must be >= 0, got {n_modules}")
+    n_shards = max(1, min(n_shards, max(1, n_modules)))
+    base, extra = divmod(n_modules, n_shards)
+    shards: List[Shard] = []
+    lo = 0
+    for index in range(n_shards):
+        hi = lo + base + (1 if index < extra else 0)
+        shards.append(Shard(index=index, lo=lo, hi=hi))
+        lo = hi
+    return shards
+
+
+def _checkpoint_path(checkpoint_dir: str, shard: Shard) -> str:
+    return os.path.join(checkpoint_dir, f"shard-{shard.index:05d}.json")
+
+
+def _write_checkpoint(
+    checkpoint_dir: str,
+    shard: Shard,
+    fingerprint: dict,
+    records: Sequence[FailureRecord],
+) -> None:
+    """Atomically persist one shard's failure records."""
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "shard": {"index": shard.index, "lo": shard.lo, "hi": shard.hi},
+        "fingerprint": fingerprint,
+        "records": [r.to_json() for r in records],
+    }
+    path = _checkpoint_path(checkpoint_dir, shard)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=checkpoint_dir, prefix=f".shard-{shard.index:05d}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def _load_checkpoint(
+    checkpoint_dir: str, shard: Shard, fingerprint: dict
+) -> Optional[List[FailureRecord]]:
+    """Load one shard's records; None if absent, corrupted, or stale.
+
+    Any failure to parse/verify falls back to recomputing the shard —
+    a truncated file from a killed run must never poison a resume.
+    """
+    path = _checkpoint_path(checkpoint_dir, shard)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        if payload["version"] != CHECKPOINT_VERSION:
+            return None
+        if payload["fingerprint"] != fingerprint:
+            return None
+        if payload["shard"] != {"index": shard.index, "lo": shard.lo, "hi": shard.hi}:
+            return None
+        return [FailureRecord.from_json(item) for item in payload["records"]]
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _run_shard(
+    evaluator,
+    geometry: ModuleGeometry,
+    config: MonteCarloConfig,
+    shard: Shard,
+    fault_counts: np.ndarray,
+) -> Tuple[int, List[FailureRecord]]:
+    """Worker entry point (module-level so it pickles)."""
+    records = simulate_range(
+        evaluator, geometry, config, fault_counts, shard.lo, shard.hi
+    )
+    return shard.index, records
+
+
+def simulate_parallel(
+    evaluator,
+    geometry: ModuleGeometry,
+    config: Optional[MonteCarloConfig] = None,
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ReliabilityResult:
+    """Sharded equivalent of :func:`simulate`; identical output.
+
+    Keyword overrides take precedence over the corresponding
+    ``MonteCarloConfig`` fields. With ``workers == 1`` the shards run
+    in-process (no pool), which still exercises checkpointing and
+    progress reporting.
+    """
+    config = config or MonteCarloConfig()
+    workers = resolve_workers(workers, config)
+    if shards is None:
+        shards = config.shards
+    if shards is None:
+        # A few shards per worker keeps the pool busy through stragglers
+        # and gives checkpoint/progress useful granularity.
+        shards = workers * 4 if workers > 1 else 1
+    if checkpoint_dir is None:
+        checkpoint_dir = config.checkpoint_dir
+
+    scheme = scheme_name(evaluator)
+    fingerprint = config.science_fingerprint(scheme, geometry)
+    plan = plan_shards(config.n_modules, shards)
+    fault_counts = draw_fault_counts(config, geometry)
+
+    shard_records: Dict[int, List[FailureRecord]] = {}
+    started = time.monotonic()
+    from_checkpoint = 0
+
+    def report() -> None:
+        if progress is None:
+            return
+        done = [plan[i] for i in shard_records]
+        progress(
+            ProgressStats(
+                shards_done=len(shard_records),
+                shards_total=len(plan),
+                shards_from_checkpoint=from_checkpoint,
+                modules_done=sum(s.n_modules for s in done),
+                modules_total=config.n_modules,
+                failures_so_far=sum(len(r) for r in shard_records.values()),
+                elapsed_s=time.monotonic() - started,
+            )
+        )
+
+    pending: List[Shard] = []
+    for shard in plan:
+        cached = (
+            _load_checkpoint(checkpoint_dir, shard, fingerprint)
+            if checkpoint_dir
+            else None
+        )
+        if cached is not None:
+            shard_records[shard.index] = cached
+            from_checkpoint += 1
+            report()
+        else:
+            pending.append(shard)
+
+    def finish(shard: Shard, records: List[FailureRecord]) -> None:
+        shard_records[shard.index] = records
+        if checkpoint_dir:
+            _write_checkpoint(checkpoint_dir, shard, fingerprint, records)
+        report()
+
+    if workers == 1:
+        for shard in pending:
+            _, records = _run_shard(
+                evaluator, geometry, config, shard, fault_counts[shard.lo : shard.hi]
+            )
+            finish(shard, records)
+    elif pending:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {
+                pool.submit(
+                    _run_shard,
+                    evaluator,
+                    geometry,
+                    config,
+                    shard,
+                    fault_counts[shard.lo : shard.hi],
+                ): shard
+                for shard in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                completed, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in completed:
+                    _, records = future.result()
+                    finish(futures[future], records)
+
+    parts = [
+        build_result(scheme, config, shard_records[s.index], n_modules=s.n_modules)
+        for s in plan
+    ]
+    merged = ReliabilityResult.merge(parts)
+    # plan_shards covers the population exactly, so the pooled count is
+    # the configured one; assert the invariant cheaply.
+    assert merged.n_modules == config.n_modules
+    return merged

@@ -52,7 +52,7 @@ class WorkloadResult:
 def run_workload(
     workload: WorkloadProfile,
     organization: PerfOrganization,
-    config: PerfConfig = None,
+    config: Optional[PerfConfig] = None,
 ) -> SystemResult:
     """Simulate one workload under one memory organization."""
     config = config or PerfConfig()
@@ -67,7 +67,7 @@ def run_workload(
 def run_comparison(
     organizations: Sequence[PerfOrganization],
     workloads: Optional[Sequence[str]] = None,
-    config: PerfConfig = None,
+    config: Optional[PerfConfig] = None,
     baseline: PerfOrganization = BASELINE_ECC,
 ) -> List[WorkloadResult]:
     """Run every organization (plus the baseline) on every workload."""
@@ -127,7 +127,7 @@ def run_comparison_multiseed(
     organizations: Sequence[PerfOrganization],
     seeds: Sequence[int],
     workloads: Optional[Sequence[str]] = None,
-    config: PerfConfig = None,
+    config: Optional[PerfConfig] = None,
     baseline: PerfOrganization = BASELINE_ECC,
 ) -> Dict[str, MultiSeedSummary]:
     """Repeat the comparison across trace seeds; summarize the spread.

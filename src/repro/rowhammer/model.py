@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.utils.rng import derive_seed
 
@@ -60,7 +60,7 @@ class RowHammerConfig:
 class DisturbanceModel:
     """Tracks disturbance and produces victim bit-flips."""
 
-    def __init__(self, config: RowHammerConfig = None):
+    def __init__(self, config: Optional[RowHammerConfig] = None):
         self.config = config or RowHammerConfig()
         self._disturbance: Dict[int, float] = {}
         #: Bits already flipped (and not yet restored by refresh): row -> bits.

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.rowhammer.attacks import AttackPattern
 from repro.rowhammer.mitigations import Mitigation, NoMitigation
@@ -54,8 +54,8 @@ class AttackRunner:
 
     def __init__(
         self,
-        model: DisturbanceModel = None,
-        mitigation: Mitigation = None,
+        model: Optional[DisturbanceModel] = None,
+        mitigation: Optional[Mitigation] = None,
         activations_per_window: int = ACTIVATIONS_PER_WINDOW,
         refs_per_window: int = REFS_PER_WINDOW,
     ):
@@ -65,7 +65,7 @@ class AttackRunner:
         self.refs_per_window = refs_per_window
 
     def run(
-        self, attack: AttackPattern, windows: int = 1, budget: int = None
+        self, attack: AttackPattern, windows: int = 1, budget: Optional[int] = None
     ) -> AttackResult:
         """Execute ``windows`` refresh windows of the attack."""
         budget = budget if budget is not None else self.activations_per_window

@@ -11,15 +11,14 @@ import random
 
 from conftest import once
 
-from repro.core.config import SafeGuardConfig
-from repro.core.secded import SafeGuardSECDED
-from repro.ecc.bamboo import BambooQPC, BambooStatus
+from repro.core.registry import create
+from repro.ecc.bamboo import BambooQPC
 
 
 def _compare(trials=120, seed=31):
     rng = random.Random(seed)
     bamboo = BambooQPC()
-    safeguard = SafeGuardSECDED(SafeGuardConfig(key=b"bamboo-ablation!"))
+    safeguard = create("safeguard-secded", key=b"bamboo-ablation!")
 
     # Correction strength: 4 simultaneous pin failures.
     bamboo_4pin = safeguard_4pin = 0

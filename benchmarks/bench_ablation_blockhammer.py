@@ -44,7 +44,7 @@ def test_blockhammer_ablation(benchmark):
         assert result.mitigation_refreshes == 0  # nothing for Half-Double
     delay_us = BlockHammerMitigation(1000).throttle_delay_ns() / 1000
     print(f"  blacklisted-row pacing delay at threshold 1K: {delay_us:.0f}us "
-          f"(the paper's >125us criticism)")
+          "(the paper's >125us criticism)")
     assert delay_us > 125
     print(f"  threshold drift (sized 139K, deployed {THRESHOLD}): "
           f"victim flips={drift.intended_flips}")

@@ -9,13 +9,14 @@ repaired data), an 18x escape-time improvement per Section VII-E.
 
 from conftest import once
 
-from repro.core.chipkill import SafeGuardChipkill
 from repro.core.config import SafeGuardConfig
+from repro.core.registry import create
 from repro.core.types import ReadStatus
 
 
 def _run_mode(eager: bool, reads: int = 64):
-    controller = SafeGuardChipkill(
+    controller = create(
+        "safeguard-chipkill",
         SafeGuardConfig(key=b"ablation-eager-k", eager_correction=eager, spare_lines=0)
     )
     line = b"\x5A" * 64
@@ -37,7 +38,7 @@ def test_eager_correction_reduces_mac_checks(benchmark):
 
     iterative_checks, eager_checks = once(benchmark, both)
     print(
-        f"\nAblation: MAC checks/read under permanent chip failure: "
+        "\nAblation: MAC checks/read under permanent chip failure: "
         f"iterative(history)={iterative_checks:.2f}, eager={eager_checks:.2f}"
     )
     # History-based iterative: pre-check on faulty data + post-repair check.

@@ -9,7 +9,7 @@ the Figure 6 conclusions are insensitive to it).
 
 from conftest import BENCH_MODULES, once
 
-from repro.faultsim.evaluators import SafeGuardSECDEDEvaluator, SECDEDEvaluator
+from repro.faultsim.evaluators import evaluator_for
 from repro.faultsim.geometry import X8_SECDED_16GB
 from repro.faultsim.montecarlo import MonteCarloConfig, simulate
 
@@ -23,8 +23,8 @@ def _run(scrub_hours):
     )
     geometry = X8_SECDED_16GB
     return (
-        simulate(SECDEDEvaluator(geometry), geometry, config),
-        simulate(SafeGuardSECDEDEvaluator(geometry), geometry, config),
+        simulate(evaluator_for("secded", geometry), geometry, config),
+        simulate(evaluator_for("safeguard-secded", geometry), geometry, config),
     )
 
 

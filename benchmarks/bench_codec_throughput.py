@@ -7,10 +7,8 @@ larger fault-injection campaigns).
 
 import random
 
-import pytest
 
-from repro.core.config import SafeGuardConfig
-from repro.core.secded import SafeGuardSECDED
+from repro.core.registry import create
 from repro.ecc.chipkill import ChipkillCode
 from repro.ecc.secded import LineECC1, WordSECDEDLine
 from repro.mac.linemac import LineMAC
@@ -46,7 +44,7 @@ def test_chipkill_encode_throughput(benchmark):
 
 
 def test_safeguard_write_read_throughput(benchmark):
-    controller = SafeGuardSECDED(SafeGuardConfig(key=b"bench-key-123456"))
+    controller = create("safeguard-secded", key=b"bench-key-123456")
 
     def write_read():
         controller.write(0x40, LINE_BYTES)

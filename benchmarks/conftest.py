@@ -8,7 +8,6 @@ minutes; EXPERIMENTS.md records the full-scale paper-vs-measured numbers.
 
 import os
 
-import pytest
 
 #: Instruction budget per core for the performance benches (override with
 #: REPRO_BENCH_INSTRUCTIONS for full-scale runs).

@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 
 import os
 
-from repro import SafeGuardChipkill, SafeGuardConfig, SafeGuardSECDED
+from repro import create_scheme
 
 
 def banner(title):
@@ -25,11 +25,11 @@ def show(label, result):
 
 
 def main():
-    config = SafeGuardConfig(key=os.urandom(16))
+    key = os.urandom(16)
     data = b"page-table-entry".ljust(64, b"\x00")
 
     banner("SafeGuard on an x8 SECDED DIMM (Section IV)")
-    mc = SafeGuardSECDED(config)
+    mc = create_scheme("safeguard-secded", key=key)
     mc.write(0x1000, data)
     show("clean read", mc.read(0x1000))
 
@@ -49,7 +49,7 @@ def main():
     print("     never silently consumed: a reliability event, not a breach.")
 
     banner("SafeGuard on an x4 Chipkill DIMM (Section V)")
-    ck = SafeGuardChipkill(config)
+    ck = create_scheme("safeguard-chipkill", key=key)
     ck.write(0x2000, data)
     show("clean read", ck.read(0x2000))
 

@@ -17,7 +17,7 @@ Run:  python examples/secure_kv_store.py
 import os
 import random
 
-from repro import ConventionalSECDED, SafeGuardConfig, SafeGuardSECDED
+from repro import create_scheme
 
 
 class IntegrityError(Exception):
@@ -90,11 +90,10 @@ def run_store(name, controller, rng):
 
 def main():
     key = os.urandom(16)
-    rng = random.Random(2024)
     print("16 records under hammer-style multi-bit corruption:\n")
-    silent = run_store("Conventional SECDED", ConventionalSECDED(SafeGuardConfig(key=key)),
+    silent = run_store("Conventional SECDED", create_scheme("secded", key=key),
                        random.Random(2024))
-    safe = run_store("SafeGuard (SECDED)", SafeGuardSECDED(SafeGuardConfig(key=key)),
+    safe = run_store("SafeGuard (SECDED)", create_scheme("safeguard-secded", key=key),
                      random.Random(2024))
     print()
     if silent:

@@ -19,11 +19,14 @@ with every substrate the paper's evaluation depends on:
 
 Quick start::
 
-    from repro import SafeGuardSECDED, SafeGuardConfig
+    from repro import create_scheme
 
-    ctrl = SafeGuardSECDED(SafeGuardConfig(key=b"0123456789abcdef"))
+    ctrl = create_scheme("safeguard-secded", key=b"0123456789abcdef")
     ctrl.write(0x1000, b"A" * 64)
     data = ctrl.read(0x1000).data
+
+(``python -m repro schemes`` lists every registered organization; see
+:mod:`repro.core.registry`.)
 
 See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced table and figure.
@@ -39,10 +42,20 @@ from repro.core.baselines import (
     SynergyStyleMAC,
 )
 from repro.core.types import ReadResult, ReadStatus
+from repro.core.registry import (
+    SchemeInfo,
+    create as create_scheme,
+    names as scheme_names,
+    scheme as scheme_info,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "SchemeInfo",
+    "create_scheme",
+    "scheme_names",
+    "scheme_info",
     "SafeGuardConfig",
     "SafeGuardSECDED",
     "SafeGuardChipkill",

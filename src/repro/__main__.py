@@ -2,68 +2,91 @@
 
 Usage::
 
-    python -m repro list                # available experiments
-    python -m repro fig6                # one experiment
-    python -m repro fig6 --workers 8    # parallel Monte-Carlo (same output)
-    python -m repro all                 # everything (interactive scale)
+    python -m repro list                     # available experiments
+    python -m repro schemes                  # registered memory organizations
+    python -m repro fig6                     # one experiment
+    python -m repro fig6 --workers 8         # parallel Monte-Carlo (same output)
+    python -m repro fig6 --scheme secded     # restrict to one organization
+    python -m repro all                      # everything (interactive scale)
 
 ``--workers N`` (or the ``REPRO_MC_WORKERS`` environment variable) fans
 the Monte-Carlo reliability experiments across N processes; results are
-bit-identical to the sequential run.
+bit-identical to the sequential run. ``--scheme NAME`` (a name from
+``python -m repro schemes``) restricts scheme-aware experiments
+(fig1c/fig6/fig7/fig10/fig11) to a single memory organization.
 """
 
 import sys
 
+from repro.core import registry
 from repro.experiments.runner import experiment_names, run_all, run_experiment
 
 
-def _parse_workers(argv):
-    """Pop ``--workers N`` / ``--workers=N`` from argv; None if absent."""
-    workers = None
+def _parse_option(argv, flag, parse):
+    """Pop ``--flag VALUE`` / ``--flag=VALUE`` from argv; None if absent."""
+    value = None
     remaining = []
     index = 0
     while index < len(argv):
         arg = argv[index]
-        if arg == "--workers":
+        if arg == flag:
             if index + 1 >= len(argv):
-                raise ValueError("--workers requires a value")
-            workers = int(argv[index + 1])
+                raise ValueError(f"{flag} requires a value")
+            value = parse(argv[index + 1])
             index += 2
             continue
-        if arg.startswith("--workers="):
-            workers = int(arg.split("=", 1)[1])
+        if arg.startswith(flag + "="):
+            value = parse(arg.split("=", 1)[1])
             index += 1
             continue
         remaining.append(arg)
         index += 1
+    return value, remaining
+
+
+def _parse_workers(argv):
+    workers, remaining = _parse_option(argv, "--workers", int)
     if workers is not None and workers < 1:
         raise ValueError(f"--workers must be >= 1, got {workers}")
     return workers, remaining
+
+
+def _print_schemes() -> None:
+    """The registry listing: name, capability flags, description."""
+    for info in registry.schemes():
+        flags = ",".join(info.capabilities) or "-"
+        print(f"{info.name:28} {flags:36} {info.display}: {info.summary}")
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     try:
         workers, argv = _parse_workers(argv)
+        scheme, argv = _parse_option(argv, "--scheme", str)
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
     if not argv or argv[0] in ("-h", "--help", "help"):
         print(__doc__)
         print("Experiments:", ", ".join(experiment_names()))
+        print("Schemes:", ", ".join(registry.names()))
         return 0
     name = argv[0]
     if name == "list":
         for experiment in experiment_names():
             print(experiment)
         return 0
+    if name == "schemes":
+        _print_schemes()
+        return 0
     if name == "all":
         run_all(workers=workers)
         return 0
     try:
-        run_experiment(name, workers=workers)
-    except KeyError as error:
-        print(error, file=sys.stderr)
+        run_experiment(name, workers=workers, scheme=scheme)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
         return 2
     return 0
 

@@ -1,5 +1,12 @@
 """SafeGuard memory-controller designs and baseline organizations.
 
+- :mod:`repro.core.pipeline` — the composable data-path base: the
+  :class:`MemoryController` template (backend, stats, event stream,
+  fault-injection surface), declarative metadata layouts, the MAC stage
+  and the correction-search histories every scheme composes.
+- :mod:`repro.core.registry` — the scheme registry: name -> factory +
+  capability flags. Consumers resolve controllers here instead of
+  importing concrete classes.
 - :mod:`repro.core.secded` — SafeGuard on x8 SECDED DIMMs (Section IV):
   line-granularity ECC-1 + 54-bit MAC, or ECC-1 + 8-bit column parity +
   46-bit MAC (the default, Figure 5).
@@ -15,8 +22,19 @@
 """
 
 from repro.core.config import SafeGuardConfig
-from repro.core.types import ReadResult, ReadStatus, AccessCosts
+from repro.core.types import ReadResult, ReadStatus, AccessCosts, ControllerStats
 from repro.core.backend import MemoryBackend, StoredLine
+from repro.core.pipeline import (
+    AccessContext,
+    AccessEvent,
+    AccessEventKind,
+    AccessLog,
+    ChipHistory,
+    ColumnHistory,
+    FieldLayout,
+    MacStage,
+    MemoryController,
+)
 from repro.core.secded import SafeGuardSECDED
 from repro.core.chipkill import SafeGuardChipkill
 from repro.core.baselines import (
@@ -27,14 +45,26 @@ from repro.core.baselines import (
 )
 from repro.core.spare import SpareLineBuffer
 from repro.core.encrypted import EncryptedController
+from repro.core import registry
+from repro.core.registry import SchemeInfo, create as create_scheme, names as scheme_names
 
 __all__ = [
     "SafeGuardConfig",
     "ReadResult",
     "ReadStatus",
     "AccessCosts",
+    "ControllerStats",
     "MemoryBackend",
     "StoredLine",
+    "MemoryController",
+    "AccessContext",
+    "AccessEvent",
+    "AccessEventKind",
+    "AccessLog",
+    "FieldLayout",
+    "MacStage",
+    "ColumnHistory",
+    "ChipHistory",
     "SafeGuardSECDED",
     "SafeGuardChipkill",
     "ConventionalSECDED",
@@ -43,4 +73,8 @@ __all__ = [
     "SynergyStyleMAC",
     "SpareLineBuffer",
     "EncryptedController",
+    "registry",
+    "SchemeInfo",
+    "create_scheme",
+    "scheme_names",
 ]

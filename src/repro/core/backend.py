@@ -16,7 +16,7 @@ logic reads it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional
 
 from repro.utils.bits import LINE_BYTES
 

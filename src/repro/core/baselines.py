@@ -15,97 +15,73 @@
   region, so every write performs an extra access to update it; 12.5% of
   capacity is lost.
 
-All controllers share the :class:`~repro.core.backend.MemoryBackend`
-fault-injection surface so experiments can subject every organization to
-identical fault patterns.
+All four are thin compositions on the :mod:`repro.core.pipeline` base:
+they share the :class:`~repro.core.backend.MemoryBackend` fault-injection
+surface, the :class:`~repro.core.types.ControllerStats` wiring (every
+read outcome — including DUEs and silent corruption — is observed through
+the same template as the SafeGuard paths), and the per-access event
+stream, so experiments can subject every organization to identical fault
+patterns and read back comparable statistics.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, Tuple
 
-from repro.core.backend import MemoryBackend
-from repro.core.config import SafeGuardConfig
-from repro.core.types import AccessCosts, ControllerStats, ReadResult, ReadStatus
+from repro.core.pipeline import AccessContext, MacStage, MemoryController
+from repro.core.types import ReadResult, ReadStatus
 from repro.ecc.chipkill import ChipkillCode, ChipkillStatus
 from repro.ecc.hamming import DecodeStatus
 from repro.ecc.secded import WordSECDEDLine
-from repro.mac.linemac import LineMAC
-from repro.utils.bits import bytes_to_int, extract_chip_bits, insert_chip_bits, int_to_bytes
+from repro.utils.bits import extract_chip_bits, insert_chip_bits, int_to_bytes
 
 
-class ConventionalSECDED:
+class ConventionalSECDED(MemoryController):
     """Word-granularity SECDED ECC DIMM (the paper's SECDED baseline)."""
 
-    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
-        self.config = config or SafeGuardConfig()
-        self.backend = backend or MemoryBackend()
+    def _setup(self) -> None:
         self._code = WordSECDEDLine()
-        self.stats = ControllerStats()
 
-    def write(self, address: int, data: bytes) -> None:
-        if len(data) != 64:
-            raise ValueError("line must be 64 bytes")
-        line = bytes_to_int(data)
+    def _encode(self, address: int, line: int, data: bytes) -> Tuple[int, int]:
         _, ecc = self._code.encode(line)
-        self.backend.store(address, line, ecc, data)
-        self.stats.writes += 1
+        return line, ecc
 
-    def read(self, address: int) -> ReadResult:
-        stored = self.backend.load(address)
-        decode = self._code.decode(stored.data, stored.meta)
+    def _read_path(
+        self, ctx: AccessContext, address: int, raw: int, meta: int
+    ) -> ReadResult:
+        decode = self._code.decode(raw, meta)
         if decode.status is DecodeStatus.DETECTED_UE:
-            result = ReadResult(int_to_bytes(decode.data), ReadStatus.DETECTED_UE)
-        elif decode.status is DecodeStatus.CORRECTED:
-            result = ReadResult(int_to_bytes(decode.data), ReadStatus.CORRECTED_BIT)
-        else:
-            result = ReadResult(int_to_bytes(decode.data), ReadStatus.CLEAN)
-        silent = self.backend.is_silent_corruption(address, result.data, result.due)
-        self.stats.observe(result, silent)
-        return result
-
-    def inject_data_bits(self, address: int, mask: int) -> None:
-        self.backend.inject_data_bits(address, mask)
-
-    def inject_meta_bits(self, address: int, mask: int) -> None:
-        self.backend.inject_meta_bits(address, mask)
+            return ReadResult(int_to_bytes(decode.data), ReadStatus.DETECTED_UE)
+        if decode.status is DecodeStatus.CORRECTED:
+            return ReadResult(int_to_bytes(decode.data), ReadStatus.CORRECTED_BIT)
+        return ReadResult(int_to_bytes(decode.data), ReadStatus.CLEAN)
 
 
-class ConventionalChipkill:
+class ConventionalChipkill(MemoryController):
     """x4 symbol-based Chipkill DIMM (the paper's Chipkill baseline)."""
 
-    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
-        self.config = config or SafeGuardConfig()
-        self.backend = backend or MemoryBackend()
+    def _setup(self) -> None:
         self._code = ChipkillCode()
-        self.stats = ControllerStats()
 
-    def write(self, address: int, data: bytes) -> None:
-        if len(data) != 64:
-            raise ValueError("line must be 64 bytes")
-        line = bytes_to_int(data)
+    def _encode(self, address: int, line: int, data: bytes) -> Tuple[int, int]:
         _, checks = self._code.encode(line)
-        self.backend.store(address, line, checks, data)
-        self.stats.writes += 1
+        return line, checks
 
-    def read(self, address: int) -> ReadResult:
-        stored = self.backend.load(address)
-        decode = self._code.decode(stored.data, stored.meta)
+    def _read_path(
+        self, ctx: AccessContext, address: int, raw: int, meta: int
+    ) -> ReadResult:
+        decode = self._code.decode(raw, meta)
         if decode.status is ChipkillStatus.DETECTED_UE:
-            result = ReadResult(int_to_bytes(decode.data), ReadStatus.DETECTED_UE)
-        elif decode.status is ChipkillStatus.CORRECTED:
-            result = ReadResult(
+            return ReadResult(int_to_bytes(decode.data), ReadStatus.DETECTED_UE)
+        if decode.status is ChipkillStatus.CORRECTED:
+            return ReadResult(
                 int_to_bytes(decode.data),
                 ReadStatus.CORRECTED_CHIP,
                 corrected_location=(
                     decode.corrected_chips[0] if decode.corrected_chips else None
                 ),
             )
-        else:
-            result = ReadResult(int_to_bytes(decode.data), ReadStatus.CLEAN)
-        silent = self.backend.is_silent_corruption(address, result.data, result.due)
-        self.stats.observe(result, silent)
-        return result
+        return ReadResult(int_to_bytes(decode.data), ReadStatus.CLEAN)
 
     def inject_chip_failure(self, address: int, chip: int, error_mask32: int) -> None:
         """XOR a per-beat nibble pattern into one chip (0..17)."""
@@ -114,11 +90,8 @@ class ConventionalChipkill:
             stored.data, stored.meta, chip, error_mask32
         )
 
-    def inject_data_bits(self, address: int, mask: int) -> None:
-        self.backend.inject_data_bits(address, mask)
 
-
-class SGXStyleMAC:
+class SGXStyleMAC(MemoryController):
     """SECDED ECC DIMM plus a per-line MAC in a separate memory region.
 
     Models the access pattern of SGX's MAC organization (Section VI-A.1):
@@ -132,52 +105,41 @@ class SGXStyleMAC:
     WRITE_EXTRA_ACCESSES = 1
     STORAGE_OVERHEAD = 0.125
 
-    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
-        self.config = config or SafeGuardConfig()
-        self.backend = backend or MemoryBackend()
+    def _setup(self) -> None:
         self._code = WordSECDEDLine()
-        self._mac = LineMAC(self.config.key, self.MAC_BITS)
-        self._mac_region: dict = {}
-        self.stats = ControllerStats()
+        self.mac = MacStage(self.config.key, self.MAC_BITS, self.events)
+        self._mac_region: Dict[int, int] = {}
 
-    def write(self, address: int, data: bytes) -> None:
-        if len(data) != 64:
-            raise ValueError("line must be 64 bytes")
-        line = bytes_to_int(data)
+    def _encode(self, address: int, line: int, data: bytes) -> Tuple[int, int]:
         _, ecc = self._code.encode(line)
-        self.backend.store(address, line, ecc, data)
-        self._mac_region[address] = self._mac.compute(data, address)
-        self.stats.writes += 1
+        return line, ecc
 
-    def read(self, address: int) -> ReadResult:
-        stored = self.backend.load(address)
-        decode = self._code.decode(stored.data, stored.meta)
+    def _post_write(self, address: int, line: int, meta: int, data: bytes) -> None:
+        self._mac_region[address] = self.mac.compute(data, address)
+
+    def _read_path(
+        self, ctx: AccessContext, address: int, raw: int, meta: int
+    ) -> ReadResult:
+        decode = self._code.decode(raw, meta)
         data = int_to_bytes(decode.data)
-        costs = AccessCosts(
-            mac_checks=1,
-            extra_memory_accesses=self.READ_EXTRA_ACCESSES,
-            latency_cycles=self.config.mac_latency_cycles,
+        ctx.extra_memory_accesses = self.READ_EXTRA_ACCESSES
+        mac_ok = self.mac.matches_bytes(
+            ctx, data, address, self._mac_region.get(address, 0)
         )
-        mac_ok = self._mac.verify(data, address, self._mac_region.get(address, 0))
         if decode.status is DecodeStatus.DETECTED_UE or not mac_ok:
-            result = ReadResult(data, ReadStatus.DETECTED_UE, costs)
+            status = ReadStatus.DETECTED_UE
         elif decode.status is DecodeStatus.CORRECTED:
-            result = ReadResult(data, ReadStatus.CORRECTED_BIT, costs)
+            status = ReadStatus.CORRECTED_BIT
         else:
-            result = ReadResult(data, ReadStatus.CLEAN, costs)
-        silent = self.backend.is_silent_corruption(address, result.data, result.due)
-        self.stats.observe(result, silent)
-        return result
-
-    def inject_data_bits(self, address: int, mask: int) -> None:
-        self.backend.inject_data_bits(address, mask)
+            status = ReadStatus.CLEAN
+        return ReadResult(data, status, self._costs(ctx))
 
     def inject_mac_bits(self, address: int, mask: int) -> None:
         """Corrupt the separately stored MAC (it lives in DRAM too)."""
         self._mac_region[address] = self._mac_region.get(address, 0) ^ mask
 
 
-class SynergyStyleMAC:
+class SynergyStyleMAC(MemoryController):
     """Synergy organization: MAC in the ECC chip, parity elsewhere.
 
     Section VI-A.2 (and [39]): an x8 ECC DIMM whose ninth chip holds a
@@ -194,12 +156,13 @@ class SynergyStyleMAC:
     WRITE_EXTRA_ACCESSES = 1
     STORAGE_OVERHEAD = 0.125
 
-    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
-        self.config = config or SafeGuardConfig()
-        self.backend = backend or MemoryBackend()
-        self._mac = LineMAC(self.config.key, self.MAC_BITS)
-        self._parity_region: dict = {}
-        self.stats = ControllerStats()
+    #: Synergy's correction latency is modeled as MAC checks only (the
+    #: parity fetch is an extra memory access, not a cycle tail).
+    count_reconstruct_latency = False
+
+    def _setup(self) -> None:
+        self.mac = MacStage(self.config.key, self.MAC_BITS, self.events)
+        self._parity_region: Dict[int, int] = {}
 
     def _chip_parity(self, line: int, mac: int) -> int:
         parity = mac
@@ -207,37 +170,27 @@ class SynergyStyleMAC:
             parity ^= extract_chip_bits(line, chip, 8, self.N_CHIPS)
         return parity
 
-    def write(self, address: int, data: bytes) -> None:
-        if len(data) != 64:
-            raise ValueError("line must be 64 bytes")
-        line = bytes_to_int(data)
-        mac = self._mac.compute(data, address)
-        self.backend.store(address, line, mac, data)
-        self._parity_region[address] = self._chip_parity(line, mac)
-        self.stats.writes += 1
+    def _encode(self, address: int, line: int, data: bytes) -> Tuple[int, int]:
+        return line, self.mac.compute(data, address)
 
-    def read(self, address: int) -> ReadResult:
-        stored = self.backend.load(address)
-        raw, mac = stored.data, stored.meta
-        checks = 1
-        if self._mac.verify(int_to_bytes(raw), address, mac):
-            result = ReadResult(
-                int_to_bytes(raw),
-                ReadStatus.CLEAN,
-                AccessCosts(mac_checks=1, latency_cycles=self.config.mac_latency_cycles),
-            )
-        else:
-            result = self._correct(address, raw, mac, checks)
-        silent = self.backend.is_silent_corruption(address, result.data, result.due)
-        self.stats.observe(result, silent)
-        return result
+    def _post_write(self, address: int, line: int, meta: int, data: bytes) -> None:
+        self._parity_region[address] = self._chip_parity(line, meta)
 
-    def _correct(self, address: int, raw: int, mac: int, checks: int) -> ReadResult:
+    def _read_path(
+        self, ctx: AccessContext, address: int, raw: int, meta: int
+    ) -> ReadResult:
+        if self.mac.matches(ctx, raw, address, meta):
+            return self._result(ctx, raw, ReadStatus.CLEAN)
+        return self._correct(ctx, address, raw, meta)
+
+    def _correct(
+        self, ctx: AccessContext, address: int, raw: int, mac: int
+    ) -> ReadResult:
         parity = self._parity_region.get(address, 0)
-        iterations = 0
+        ctx.extra_memory_accesses = 1  # parity fetch
         # Candidate chips: 8 data chips then the MAC chip.
         for chip in range(self.N_CHIPS + 1):
-            iterations += 1
+            self._iterate(ctx, chip)
             if chip < self.N_CHIPS:
                 others = parity ^ mac
                 for c in range(self.N_CHIPS):
@@ -250,27 +203,9 @@ class SynergyStyleMAC:
                 repaired_mac = parity
                 for c in range(self.N_CHIPS):
                     repaired_mac ^= extract_chip_bits(raw, c, 8, self.N_CHIPS)
-            checks += 1
-            if self._mac.verify(int_to_bytes(repaired), address, repaired_mac):
-                costs = AccessCosts(
-                    mac_checks=checks,
-                    extra_memory_accesses=1,  # parity fetch
-                    correction_iterations=iterations,
-                    latency_cycles=checks * self.config.mac_latency_cycles,
-                )
-                return ReadResult(
-                    int_to_bytes(repaired), ReadStatus.CORRECTED_CHIP, costs, chip
-                )
-        costs = AccessCosts(
-            mac_checks=checks,
-            extra_memory_accesses=1,
-            correction_iterations=iterations,
-            latency_cycles=checks * self.config.mac_latency_cycles,
-        )
-        return ReadResult(int_to_bytes(raw), ReadStatus.DETECTED_UE, costs)
-
-    def inject_data_bits(self, address: int, mask: int) -> None:
-        self.backend.inject_data_bits(address, mask)
+            if self.mac.matches(ctx, repaired, address, repaired_mac):
+                return self._result(ctx, repaired, ReadStatus.CORRECTED_CHIP, chip)
+        return self._due(ctx, raw)
 
     def inject_chip_failure(self, address: int, chip: int, error_mask64: int) -> None:
         """Corrupt one x8 chip's 64-bit per-line contribution (0..7), or

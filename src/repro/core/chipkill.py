@@ -23,23 +23,28 @@ Read path:
 - *Spare lines* (footnote 2): a line repaired for a single-bit fault is
   copied into one of a few controller spare lines so that recurring
   accesses to permanently faulty lines skip iterative correction.
+
+The controller is a composition on the :mod:`repro.core.pipeline` base:
+the two ECC chips are a declarative :class:`FieldLayout`, the MAC is a
+:class:`MacStage`, and the Section V-D failed-chip memory is a
+:class:`ChipHistory`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
-from repro.core.backend import MemoryBackend
-from repro.core.config import SafeGuardConfig
-from repro.core.spare import SpareLineBuffer
-from repro.core.types import AccessCosts, ControllerStats, ReadResult, ReadStatus
-from repro.ecc.parity import N_X4_DATA_CHIPS, chip_parity, recover_chip
-from repro.mac.linemac import LineMAC
-from repro.utils.bits import (
-    bytes_to_int,
-    extract_chip_bits,
-    int_to_bytes,
+from repro.core.pipeline import (
+    AccessContext,
+    ChipHistory,
+    FieldLayout,
+    MacStage,
+    MemoryController,
 )
+from repro.core.spare import SpareLineBuffer
+from repro.core.types import AccessCosts, ReadResult, ReadStatus
+from repro.ecc.parity import N_X4_DATA_CHIPS, chip_parity, recover_chip
+from repro.utils.bits import extract_chip_bits, int_to_bytes
 
 #: Chip indices: 0..15 data, 16 MAC, 17 parity.
 MAC_CHIP = 16
@@ -47,149 +52,95 @@ PARITY_CHIP = 17
 N_CORRECTION_CANDIDATES = 17  #: data chips + MAC chip (parity chip needs no search)
 
 
-class SafeGuardChipkill:
+class SafeGuardChipkill(MemoryController):
     """SafeGuard memory controller for x4 Chipkill modules."""
 
-    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
-        self.config = config or SafeGuardConfig()
-        self.backend = backend or MemoryBackend()
+    def _setup(self) -> None:
         self.mac_bits = self.config.chipkill_mac_bits()
         if self.mac_bits > 32:
             raise ValueError("the MAC chip provides at most 32 bits per line")
-        self._mac = LineMAC(self.config.key, self.mac_bits)
+        #: The two repurposed ECC chips: MAC chip then parity chip.
+        self.meta_layout = FieldLayout(("mac", 32), ("parity", 32))
+        self.mac = MacStage(self.config.key, self.mac_bits, self.events)
         self.spares = SpareLineBuffer(self.config.spare_lines)
-        self.stats = ControllerStats()
-        #: Chip that failed on the most recent repair (None = none known).
-        self._known_failed_chip: Optional[int] = None
-        #: Consecutive repairs attributed to a *different* chip than the
-        #: previously known one (Section V-D ping-pong bound).
-        self._ping_pong = 0
+        self.chips = ChipHistory(N_CORRECTION_CANDIDATES, self.config.ping_pong_limit)
 
     # -- write path ----------------------------------------------------------
 
-    def write(self, address: int, data: bytes) -> None:
-        """Encode and store a 64-byte line."""
-        if len(data) != 64:
-            raise ValueError("line must be 64 bytes")
-        line = bytes_to_int(data)
-        mac = self._mac.compute(data, address) & 0xFFFFFFFF
-        parity = chip_parity(line, mac)
-        meta = mac | (parity << 32)
-        self.backend.store(address, line, meta, data)
+    def _encode(self, address: int, line: int, data: bytes) -> Tuple[int, int]:
+        mac = self.mac.compute(data, address) & 0xFFFFFFFF
+        return line, self.meta_layout.pack(mac=mac, parity=chip_parity(line, mac))
+
+    def _post_write(self, address: int, line: int, meta: int, data: bytes) -> None:
         self.spares.invalidate(address)
-        self.stats.writes += 1
 
     # -- read path ------------------------------------------------------------
 
-    def read(self, address: int) -> ReadResult:
-        """Read a line through the SafeGuard-Chipkill verification path."""
+    def _pre_read(self, ctx: AccessContext, address: int) -> Optional[ReadResult]:
         spared = self.spares.lookup(address)
-        if spared is not None:
-            result = ReadResult(spared, ReadStatus.SERVICED_BY_SPARE, AccessCosts())
-            self.stats.observe(result, False)
-            return result
-        stored = self.backend.load(address)
-        raw = stored.data
-        mac = stored.meta & 0xFFFFFFFF
-        parity = (stored.meta >> 32) & 0xFFFFFFFF
-        if self.config.eager_correction and self._known_failed_chip is not None:
-            result = self._read_eager(address, raw, mac, parity)
-        else:
-            result = self._read_iterative(address, raw, mac, parity)
-        silent = self.backend.is_silent_corruption(address, result.data, result.due)
-        self.stats.observe(result, silent)
-        return result
+        if spared is None:
+            return None
+        return ReadResult(spared, ReadStatus.SERVICED_BY_SPARE, AccessCosts())
+
+    def _read_path(
+        self, ctx: AccessContext, address: int, raw: int, meta: int
+    ) -> ReadResult:
+        fields = self.meta_layout.unpack(meta)
+        mac, parity = fields["mac"], fields["parity"]
+        if self.config.eager_correction and self.chips.eager_ready:
+            return self._read_eager(ctx, address, raw, mac, parity)
+        return self._read_iterative(ctx, address, raw, mac, parity)
 
     def _read_iterative(
-        self, address: int, raw: int, mac: int, parity: int
+        self, ctx: AccessContext, address: int, raw: int, mac: int, parity: int
     ) -> ReadResult:
-        checks = 1
-        if self._mac_matches(raw, address, mac):
-            return ReadResult(
-                int_to_bytes(raw), ReadStatus.CLEAN, self._costs(checks, 0)
-            )
-        return self._search(address, raw, mac, parity, checks, iterations=0)
+        if self.mac.matches(ctx, raw, address, mac):
+            return self._result(ctx, raw, ReadStatus.CLEAN)
+        return self._search(ctx, address, raw, mac, parity)
 
-    def _read_eager(self, address: int, raw: int, mac: int, parity: int) -> ReadResult:
+    def _read_eager(
+        self, ctx: AccessContext, address: int, raw: int, mac: int, parity: int
+    ) -> ReadResult:
         # Skip the pre-correction check: reconstruct the known chip, then
         # perform the *only* MAC check on the repaired line (Figure 9b).
-        chip = self._known_failed_chip
+        chip = self.chips.known
         repaired_line, repaired_mac = recover_chip(raw, mac, parity, chip)
-        checks = 1
-        iterations = 1
-        if self._mac_matches(repaired_line, address, repaired_mac):
+        self._iterate(ctx, chip)
+        if self.mac.matches(ctx, repaired_line, address, repaired_mac):
             if repaired_line == raw and repaired_mac == mac:
                 # No fault was present; eager reconstruction is a no-op.
-                self._known_failed_chip = None
-                self._ping_pong = 0
-                return ReadResult(
-                    int_to_bytes(raw), ReadStatus.CLEAN, self._costs(checks, iterations)
-                )
-            self._ping_pong = 0
+                self.chips.reset()
+                return self._result(ctx, raw, ReadStatus.CLEAN)
+            self.chips.ping_pong = 0
             self._maybe_spare(address, raw, repaired_line)
-            return ReadResult(
-                int_to_bytes(repaired_line),
-                ReadStatus.CORRECTED_CHIP,
-                self._costs(checks, iterations),
-                chip,
-            )
+            return self._result(ctx, repaired_line, ReadStatus.CORRECTED_CHIP, chip)
         # A different chip must be at fault: fall back to the full search.
-        return self._search(
-            address, raw, mac, parity, checks, iterations, exclude=chip
-        )
+        return self._search(ctx, address, raw, mac, parity, exclude=chip)
 
     def _search(
         self,
+        ctx: AccessContext,
         address: int,
         raw: int,
         mac: int,
         parity: int,
-        checks: int,
-        iterations: int,
         exclude: Optional[int] = None,
     ) -> ReadResult:
-        previous = self._known_failed_chip
-        for chip in self._candidates(exclude):
-            iterations += 1
+        for chip in self.chips.candidates(exclude):
+            self._iterate(ctx, chip)
             repaired_line, repaired_mac = recover_chip(raw, mac, parity, chip)
-            checks += 1
-            if not self._mac_matches(repaired_line, address, repaired_mac):
+            if not self.mac.matches(ctx, repaired_line, address, repaired_mac):
                 continue
             # Found the faulty chip.
-            if previous is not None and chip != previous:
-                self._ping_pong += 1
-                if self._ping_pong >= self.config.ping_pong_limit:
-                    # Interchanging chip failures: not a pattern Chipkill
-                    # is expected to repair — declare a DUE (Section V-D).
-                    self._known_failed_chip = None
-                    self._ping_pong = 0
-                    return self._due(raw, checks, iterations)
-            else:
-                self._ping_pong = 0
-            self._known_failed_chip = chip
+            if self.chips.note_repair(chip):
+                # Interchanging chip failures: not a pattern Chipkill is
+                # expected to repair — declare a DUE (Section V-D).
+                return self._due(ctx, raw)
             self._maybe_spare(address, raw, repaired_line)
-            return ReadResult(
-                int_to_bytes(repaired_line),
-                ReadStatus.CORRECTED_CHIP,
-                self._costs(checks, iterations),
-                chip,
-            )
-        return self._due(raw, checks, iterations)
+            return self._result(ctx, repaired_line, ReadStatus.CORRECTED_CHIP, chip)
+        return self._due(ctx, raw)
 
     # -- helpers -----------------------------------------------------------------
-
-    def _candidates(self, exclude: Optional[int]) -> List[int]:
-        order: List[int] = []
-        if self._known_failed_chip is not None and self._known_failed_chip != exclude:
-            order.append(self._known_failed_chip)
-        for chip in range(N_CORRECTION_CANDIDATES):
-            if chip != exclude and chip not in order:
-                order.append(chip)
-        return order
-
-    def _mac_matches(self, line: int, address: int, stored_mac: int) -> bool:
-        mask = (1 << self.mac_bits) - 1
-        return self._mac.compute(int_to_bytes(line), address) == (stored_mac & mask)
 
     def _maybe_spare(self, address: int, raw: int, repaired: int) -> None:
         """Footnote 2: spare lines absorb single-bit permanent faults."""
@@ -197,20 +148,15 @@ class SafeGuardChipkill:
         if diff and bin(diff).count("1") == 1:
             self.spares.insert(address, int_to_bytes(repaired))
 
-    def _costs(self, checks: int, iterations: int) -> AccessCosts:
-        return AccessCosts(
-            mac_checks=checks,
-            correction_iterations=iterations,
-            latency_cycles=(
-                checks * self.config.mac_latency_cycles
-                + iterations * self.config.parity_reconstruct_cycles
-            ),
-        )
+    # -- introspection shims (pre-pipeline attribute names) ----------------------
 
-    def _due(self, raw: int, checks: int, iterations: int) -> ReadResult:
-        return ReadResult(
-            int_to_bytes(raw), ReadStatus.DETECTED_UE, self._costs(checks, iterations)
-        )
+    @property
+    def _known_failed_chip(self):
+        return self.chips.known
+
+    @property
+    def _ping_pong(self) -> int:
+        return self.chips.ping_pong
 
     # -- fault-injection conveniences ------------------------------------------------
 
@@ -235,10 +181,6 @@ class SafeGuardChipkill:
             self.backend.inject_meta_bits(address, error_mask32 << 32)
         else:
             raise ValueError("chip must be in [0, 18)")
-
-    def inject_data_bits(self, address: int, mask: int) -> None:
-        """Flip raw data bits of the stored line."""
-        self.backend.inject_data_bits(address, mask)
 
     def chip_contribution(self, address: int, chip: int) -> int:
         """The stored 32-bit contribution of a chip (for tests)."""

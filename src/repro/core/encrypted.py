@@ -18,6 +18,7 @@ plaintext secrets.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Dict
 
 from repro.core.types import ReadResult
 from repro.security.rambleed import TMEEncryptedMemory
@@ -29,26 +30,40 @@ class EncryptedController:
     The wrapper is API-compatible with the controllers it wraps: ``write``
     and ``read`` speak plaintext; the injection helpers target the stored
     (ciphertext) bits, as physical faults do.
+
+    Statistics stay consistent with every other scheme: the inner
+    controller classifies silent corruption against its golden copy of
+    the *ciphertext*, and because TME is a per-address bijection that is
+    exactly the plaintext-level truth. The wrapper still re-verifies the
+    decrypted plaintext against its own golden copy on every successful
+    read, so a hypothetical mismatch between the two views would be
+    counted rather than lost.
     """
 
     def __init__(self, inner, encryption_key: bytes):
         self.inner = inner
         self._tme = TMEEncryptedMemory(encryption_key)
+        self._plain_golden: Dict[int, bytes] = {}
 
     # -- data path -----------------------------------------------------------
 
     def write(self, address: int, data: bytes) -> None:
+        self._plain_golden[address] = data
         self.inner.write(address, self._tme.encrypt_line(data, address))
 
     def read(self, address: int) -> ReadResult:
+        silent_before = self.inner.stats.silent_corruptions
         result = self.inner.read(address)
         if not result.ok:
             # DUE: surface the raw ciphertext bits; decrypting garbage
             # would only lend them false structure.
             return result
-        return replace(
-            result, data=self._tme.decrypt_line(result.data, address)
-        )
+        plain = self._tme.decrypt_line(result.data, address)
+        golden = self._plain_golden.get(address)
+        ciphertext_counted = self.inner.stats.silent_corruptions > silent_before
+        if golden is not None and plain != golden and not ciphertext_counted:
+            self.inner.stats.silent_corruptions += 1
+        return replace(result, data=plain)
 
     def stored_ciphertext(self, address: int) -> bytes:
         """The bits actually resident in DRAM (what RAMBleed can sense)."""
@@ -59,8 +74,16 @@ class EncryptedController:
     # -- passthroughs ------------------------------------------------------------
 
     @property
+    def config(self):
+        return self.inner.config
+
+    @property
     def stats(self):
         return self.inner.stats
+
+    @property
+    def events(self):
+        return self.inner.events
 
     @property
     def backend(self):

@@ -1,0 +1,217 @@
+"""The scheme registry: every memory organization, by name.
+
+One place maps a scheme name to its factory and capability flags. Every
+consumer that needs a controller — experiments, the Row-Hammer
+integration, the CLI, the performance model, the FaultSim evaluators —
+resolves it here instead of importing a concrete class, so adding a new
+protection scheme is one :func:`register` call (see
+``docs/architecture.md`` for the recipe).
+
+::
+
+    from repro.core.registry import create, names, scheme
+
+    controller = create("safeguard-secded", key=b"0123456789abcdef")
+    scheme("safeguard-chipkill").chipkill       # capability flags
+    names()                                     # all registered schemes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.backend import MemoryBackend
+from repro.core.baselines import (
+    ConventionalChipkill,
+    ConventionalSECDED,
+    SGXStyleMAC,
+    SynergyStyleMAC,
+)
+from repro.core.chipkill import SafeGuardChipkill
+from repro.core.config import SafeGuardConfig
+from repro.core.encrypted import EncryptedController
+from repro.core.secded import SafeGuardSECDED
+
+#: A factory takes the resolved config and an optional shared backend.
+SchemeFactory = Callable[[SafeGuardConfig, Optional[MemoryBackend]], object]
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """One registered memory organization."""
+
+    name: str
+    #: Human-facing label used in experiment tables (kept identical to the
+    #: paper's figure legends).
+    display: str
+    summary: str
+    factory: SchemeFactory
+    #: Capability flags (drive consumer behavior and the CLI listing).
+    has_mac: bool = False
+    has_column_parity: bool = False
+    chipkill: bool = False
+    encrypted: bool = False
+
+    @property
+    def capabilities(self) -> Tuple[str, ...]:
+        flags = []
+        if self.has_mac:
+            flags.append("mac")
+        if self.has_column_parity:
+            flags.append("column-parity")
+        if self.chipkill:
+            flags.append("chipkill")
+        if self.encrypted:
+            flags.append("encrypted")
+        return tuple(flags)
+
+
+_REGISTRY: Dict[str, SchemeInfo] = {}
+
+
+def register(info: SchemeInfo) -> SchemeInfo:
+    """Add a scheme; duplicate names are a programming error."""
+    if info.name in _REGISTRY:
+        raise ValueError(f"scheme {info.name!r} is already registered")
+    _REGISTRY[info.name] = info
+    return info
+
+
+def scheme(name: str) -> SchemeInfo:
+    """Look up one scheme; raises KeyError with the available names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {', '.join(names())}"
+        ) from None
+
+
+def names() -> List[str]:
+    """All registered scheme names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def schemes() -> List[SchemeInfo]:
+    """All registered schemes, sorted by name."""
+    return [_REGISTRY[name] for name in names()]
+
+
+def create(
+    name: str,
+    config: Optional[SafeGuardConfig] = None,
+    backend: Optional[MemoryBackend] = None,
+    *,
+    key: Optional[bytes] = None,
+):
+    """Instantiate a scheme by name.
+
+    ``key`` is a convenience for the common case of only picking the MAC
+    key; it overrides ``config.key`` when both are given.
+    """
+    info = scheme(name)
+    config = config or SafeGuardConfig()
+    if key is not None:
+        config = dc_replace(config, key=key)
+    return info.factory(config, backend)
+
+
+# -- the built-in schemes --------------------------------------------------------
+
+register(
+    SchemeInfo(
+        name="secded",
+        display="Conventional SECDED",
+        summary="eight (72,64) SECDED codewords per line (Figure 3a)",
+        factory=ConventionalSECDED,
+    )
+)
+
+register(
+    SchemeInfo(
+        name="chipkill",
+        display="Conventional Chipkill",
+        summary="x4 RS(18,16) symbol code, single-chip correction (Figure 8a)",
+        factory=ConventionalChipkill,
+        chipkill=True,
+    )
+)
+
+register(
+    SchemeInfo(
+        name="safeguard-secded",
+        display="SafeGuard (SECDED)",
+        summary="line ECC-1 + 8b column parity + 46b MAC (Figure 5)",
+        factory=SafeGuardSECDED,
+        has_mac=True,
+        has_column_parity=True,
+    )
+)
+
+
+def _safeguard_secded_noparity(
+    config: SafeGuardConfig, backend: Optional[MemoryBackend] = None
+) -> SafeGuardSECDED:
+    return SafeGuardSECDED(dc_replace(config, column_parity=False), backend)
+
+
+register(
+    SchemeInfo(
+        name="safeguard-secded-noparity",
+        display="SafeGuard (no parity)",
+        summary="line ECC-1 + 54b MAC, no column parity (Figure 3b)",
+        factory=_safeguard_secded_noparity,
+        has_mac=True,
+    )
+)
+
+register(
+    SchemeInfo(
+        name="safeguard-chipkill",
+        display="SafeGuard (Chipkill)",
+        summary="32b MAC chip + 32b chip-parity chip, eager correction (Section V)",
+        factory=SafeGuardChipkill,
+        has_mac=True,
+        chipkill=True,
+    )
+)
+
+register(
+    SchemeInfo(
+        name="sgx-mac",
+        display="SGX-style MAC",
+        summary="per-line MAC in a separate region; extra access per read/write",
+        factory=SGXStyleMAC,
+        has_mac=True,
+    )
+)
+
+register(
+    SchemeInfo(
+        name="synergy-mac",
+        display="Synergy-style MAC",
+        summary="64b MAC in the ECC chip; parity region written on every writeback",
+        factory=SynergyStyleMAC,
+        has_mac=True,
+    )
+)
+
+
+def _encrypted_safeguard_secded(
+    config: SafeGuardConfig, backend: Optional[MemoryBackend] = None
+) -> EncryptedController:
+    return EncryptedController(SafeGuardSECDED(config, backend), config.key)
+
+
+register(
+    SchemeInfo(
+        name="encrypted-safeguard-secded",
+        display="TME + SafeGuard (SECDED)",
+        summary="TME-style encryption under SafeGuard-SECDED (Section VII-D)",
+        factory=_encrypted_safeguard_secded,
+        has_mac=True,
+        has_column_parity=True,
+        encrypted=True,
+    )
+)

@@ -24,254 +24,154 @@ Read path with column parity (Section IV-C):
 
 Without column parity the path is the Figure 3b one: ECC-1 first, then an
 unconditional MAC verification.
+
+The controller is a composition on the :mod:`repro.core.pipeline` base:
+the metadata and ECC-1 payload are declarative :class:`FieldLayout`\\ s,
+the MAC is a :class:`MacStage`, and the Section IV-C column memory is a
+:class:`ColumnHistory`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Tuple
 
-from repro.core.backend import MemoryBackend
-from repro.core.config import SafeGuardConfig
-from repro.core.types import AccessCosts, ControllerStats, ReadResult, ReadStatus
+from repro.core.pipeline import (
+    AccessContext,
+    ColumnHistory,
+    FieldLayout,
+    MacStage,
+    MemoryController,
+)
+from repro.core.types import ReadResult, ReadStatus
 from repro.ecc.hamming import DecodeStatus
 from repro.ecc.parity import N_DATA_PINS, column_parity, recover_pin
 from repro.ecc.secded import LineECC1
-from repro.mac.linemac import LineMAC
-from repro.utils.bits import LINE_BITS, bytes_to_int, int_to_bytes
+from repro.utils.bits import LINE_BITS
 
 _ECC1_BITS = 10
 _COLUMN_PARITY_BITS = 8
 
 
-class SafeGuardSECDED:
+class SafeGuardSECDED(MemoryController):
     """SafeGuard memory controller for x8 SECDED modules."""
 
-    def __init__(self, config: Optional[SafeGuardConfig] = None, backend: Optional[MemoryBackend] = None):
-        self.config = config or SafeGuardConfig()
-        self.backend = backend or MemoryBackend()
+    def _setup(self) -> None:
         self.mac_bits = self.config.secded_mac_bits()
         parity_bits = _COLUMN_PARITY_BITS if self.config.column_parity else 0
-        meta_bits = _ECC1_BITS + parity_bits + self.mac_bits
-        if meta_bits > 64:
+        #: ECC-chip metadata: ECC-1 check bits, column parity, MAC.
+        self.meta_layout = FieldLayout(
+            ("ecc1", _ECC1_BITS), ("parity", parity_bits), ("mac", self.mac_bits)
+        )
+        if self.meta_layout.total_bits > 64:
             raise ValueError(
-                f"metadata ({meta_bits} bits) exceeds the 64-bit ECC budget"
+                f"metadata ({self.meta_layout.total_bits} bits) exceeds the "
+                "64-bit ECC budget"
             )
-        self._payload_bits = LINE_BITS + parity_bits + self.mac_bits
-        self._ecc1 = LineECC1(self._payload_bits)
-        self._mac = LineMAC(self.config.key, self.mac_bits)
-        self.stats = ControllerStats()
-        # Column-recovery history (Section IV-C latency optimizations).
-        self._last_column: Optional[int] = None
-        self._consecutive_column_hits = 0
-
-    # -- metadata layout ------------------------------------------------------
-
-    def _pack_meta(self, ecc1: int, parity: int, mac: int) -> int:
-        meta = ecc1 & ((1 << _ECC1_BITS) - 1)
-        shift = _ECC1_BITS
-        if self.config.column_parity:
-            meta |= (parity & 0xFF) << shift
-            shift += _COLUMN_PARITY_BITS
-        meta |= (mac & ((1 << self.mac_bits) - 1)) << shift
-        return meta
-
-    def _unpack_meta(self, meta: int) -> Tuple[int, int, int]:
-        ecc1 = meta & ((1 << _ECC1_BITS) - 1)
-        shift = _ECC1_BITS
-        parity = 0
-        if self.config.column_parity:
-            parity = (meta >> shift) & 0xFF
-            shift += _COLUMN_PARITY_BITS
-        mac = (meta >> shift) & ((1 << self.mac_bits) - 1)
-        return ecc1, parity, mac
-
-    def _payload(self, data: int, parity: int, mac: int) -> int:
-        payload = data
-        shift = LINE_BITS
-        if self.config.column_parity:
-            payload |= (parity & 0xFF) << shift
-            shift += _COLUMN_PARITY_BITS
-        payload |= (mac & ((1 << self.mac_bits) - 1)) << shift
-        return payload
-
-    def _split_payload(self, payload: int) -> Tuple[int, int, int]:
-        data = payload & ((1 << LINE_BITS) - 1)
-        shift = LINE_BITS
-        parity = 0
-        if self.config.column_parity:
-            parity = (payload >> shift) & 0xFF
-            shift += _COLUMN_PARITY_BITS
-        mac = (payload >> shift) & ((1 << self.mac_bits) - 1)
-        return data, parity, mac
+        #: The ECC-1 codeword payload: data plus the protected metadata.
+        self.payload_layout = FieldLayout(
+            ("data", LINE_BITS), ("parity", parity_bits), ("mac", self.mac_bits)
+        )
+        self._ecc1 = LineECC1(self.payload_layout.total_bits)
+        self.mac = MacStage(self.config.key, self.mac_bits, self.events)
+        self.columns = ColumnHistory(N_DATA_PINS, self.config.column_eager_after)
 
     # -- write path -------------------------------------------------------------
 
-    def write(self, address: int, data: bytes) -> None:
-        """Encode and store a 64-byte line."""
-        if len(data) != 64:
-            raise ValueError("line must be 64 bytes")
-        line = bytes_to_int(data)
-        mac = self._mac.compute(data, address)
+    def _encode(self, address: int, line: int, data: bytes) -> Tuple[int, int]:
+        mac = self.mac.compute(data, address)
         parity = column_parity(line) if self.config.column_parity else 0
-        ecc1 = self._ecc1.encode(self._payload(line, parity, mac))
-        self.backend.store(address, line, self._pack_meta(ecc1, parity, mac), data)
-        self.stats.writes += 1
+        ecc1 = self._ecc1.encode(
+            self.payload_layout.pack(data=line, parity=parity, mac=mac)
+        )
+        return line, self.meta_layout.pack(ecc1=ecc1, parity=parity, mac=mac)
 
     # -- read path --------------------------------------------------------------
 
-    def read(self, address: int) -> ReadResult:
-        """Read a line, applying the full SafeGuard verification path."""
-        stored = self.backend.load(address)
-        result = self._read_path(address, stored.data, stored.meta)
-        silent = self.backend.is_silent_corruption(address, result.data, result.due)
-        self.stats.observe(result, silent)
-        return result
-
-    def _read_path(self, address: int, raw: int, meta: int) -> ReadResult:
+    def _read_path(
+        self, ctx: AccessContext, address: int, raw: int, meta: int
+    ) -> ReadResult:
+        fields = self.meta_layout.unpack(meta)
         if self.config.column_parity:
-            return self._read_with_column_parity(address, raw, meta)
-        return self._read_figure3b(address, raw, meta)
+            return self._read_with_column_parity(ctx, address, raw, fields)
+        return self._read_figure3b(ctx, address, raw, fields)
 
     # Figure 3b: ECC-1 first, then unconditional MAC verification.
-    def _read_figure3b(self, address: int, raw: int, meta: int) -> ReadResult:
-        ecc1, _, mac = self._unpack_meta(meta)
-        decode = self._ecc1.correct(self._payload(raw, 0, mac), ecc1)
-        data, _, mac_after = self._split_payload(decode.data)
-        checks = 1
-        if self._mac_matches(data, address, mac_after):
-            latency = checks * self.config.mac_latency_cycles
+    def _read_figure3b(
+        self, ctx: AccessContext, address: int, raw: int, fields: dict
+    ) -> ReadResult:
+        decode = self._ecc1.correct(
+            self.payload_layout.pack(data=raw, mac=fields["mac"]), fields["ecc1"]
+        )
+        payload = self.payload_layout.unpack(decode.data)
+        if self.mac.matches(ctx, payload["data"], address, payload["mac"]):
             if decode.status is DecodeStatus.CORRECTED:
-                return ReadResult(
-                    int_to_bytes(data),
-                    ReadStatus.CORRECTED_BIT,
-                    AccessCosts(mac_checks=checks, latency_cycles=latency),
-                    decode.corrected_bit,
+                return self._result(
+                    ctx, payload["data"], ReadStatus.CORRECTED_BIT, decode.corrected_bit
                 )
-            return ReadResult(
-                int_to_bytes(data),
-                ReadStatus.CLEAN,
-                AccessCosts(mac_checks=checks, latency_cycles=latency),
-            )
-        return self._due(raw, checks, 0)
+            return self._result(ctx, payload["data"], ReadStatus.CLEAN)
+        return self._due(ctx, raw)
 
     # Figure 5: MAC -> ECC-1 -> iterative column recovery.
-    def _read_with_column_parity(self, address: int, raw: int, meta: int) -> ReadResult:
-        ecc1, parity, mac = self._unpack_meta(meta)
-        checks = 0
-        iterations = 0
+    def _read_with_column_parity(
+        self, ctx: AccessContext, address: int, raw: int, fields: dict
+    ) -> ReadResult:
+        parity, mac = fields["parity"], fields["mac"]
 
         # Eager column recovery: a permanent pin failure makes the first
         # MAC check useless; reconstruct first and check once.
-        eager = (
-            self._last_column is not None
-            and self._consecutive_column_hits >= self.config.column_eager_after
-        )
-        if eager:
-            iterations += 1
-            repaired = recover_pin(raw, self._last_column, parity)
-            checks += 1
-            if self._mac_matches(repaired, address, mac):
+        if self.columns.eager_ready:
+            pin = self.columns.last
+            self._iterate(ctx, pin)
+            repaired = recover_pin(raw, pin, parity)
+            if self.mac.matches(ctx, repaired, address, mac):
                 if repaired == raw:
                     # The pin healed (transient fault): stop paying the
                     # eager reconstruction on every read.
-                    self._consecutive_column_hits = 0
-                    return ReadResult(
-                        int_to_bytes(raw),
-                        ReadStatus.CLEAN,
-                        self._costs(checks, iterations),
-                    )
-                self._consecutive_column_hits += 1
-                return ReadResult(
-                    int_to_bytes(repaired),
-                    ReadStatus.CORRECTED_COLUMN,
-                    self._costs(checks, iterations),
-                    self._last_column,
-                )
+                    self.columns.note_clean()
+                    return self._result(ctx, raw, ReadStatus.CLEAN)
+                self.columns.note_hit(pin)
+                return self._result(ctx, repaired, ReadStatus.CORRECTED_COLUMN, pin)
             # The remembered pin no longer explains the fault; fall through
             # to the full path.
-            self._consecutive_column_hits = 0
+            self.columns.note_clean()
 
         # Step 1: fast-path MAC check on the raw data.
-        checks += 1
-        if self._mac_matches(raw, address, mac):
-            self._note_clean_read()
-            return ReadResult(
-                int_to_bytes(raw), ReadStatus.CLEAN, self._costs(checks, iterations)
-            )
+        if self.mac.matches(ctx, raw, address, mac):
+            self.columns.note_clean()
+            return self._result(ctx, raw, ReadStatus.CLEAN)
 
         # Step 2: ECC-1 single-bit correction, then re-check.
-        decode = self._ecc1.correct(self._payload(raw, parity, mac), ecc1)
-        data2, parity2, mac2 = self._split_payload(decode.data)
-        checks += 1
-        if self._mac_matches(data2, address, mac2):
-            self._note_clean_read()
-            return ReadResult(
-                int_to_bytes(data2),
-                ReadStatus.CORRECTED_BIT,
-                self._costs(checks, iterations),
-                decode.corrected_bit,
+        decode = self._ecc1.correct(
+            self.payload_layout.pack(data=raw, parity=parity, mac=mac), fields["ecc1"]
+        )
+        payload = self.payload_layout.unpack(decode.data)
+        if self.mac.matches(ctx, payload["data"], address, payload["mac"]):
+            self.columns.note_clean()
+            return self._result(
+                ctx, payload["data"], ReadStatus.CORRECTED_BIT, decode.corrected_bit
             )
 
         # Step 3: iterative column recovery, trying the last known failing
         # pin first (Section IV-C).
-        for pin in self._column_candidates():
-            iterations += 1
+        for pin in self.columns.candidates():
+            self._iterate(ctx, pin)
             repaired = recover_pin(raw, pin, parity)
-            checks += 1
-            if self._mac_matches(repaired, address, mac):
-                if pin == self._last_column:
-                    self._consecutive_column_hits += 1
-                else:
-                    self._last_column = pin
-                    self._consecutive_column_hits = 1
-                return ReadResult(
-                    int_to_bytes(repaired),
-                    ReadStatus.CORRECTED_COLUMN,
-                    self._costs(checks, iterations),
-                    pin,
-                )
-        return self._due(raw, checks, iterations)
+            if self.mac.matches(ctx, repaired, address, mac):
+                self.columns.note_hit(pin)
+                return self._result(ctx, repaired, ReadStatus.CORRECTED_COLUMN, pin)
+        return self._due(ctx, raw)
 
-    # -- helpers ---------------------------------------------------------------
+    # -- introspection shims (pre-pipeline attribute names) ----------------------
 
-    def _mac_matches(self, line: int, address: int, stored_mac: int) -> bool:
-        return self._mac.compute(int_to_bytes(line), address) == stored_mac
+    @property
+    def _last_column(self):
+        return self.columns.last
 
-    def _column_candidates(self) -> List[int]:
-        if self._last_column is None:
-            return list(range(N_DATA_PINS))
-        rest = [p for p in range(N_DATA_PINS) if p != self._last_column]
-        return [self._last_column] + rest
-
-    def _costs(self, checks: int, iterations: int) -> AccessCosts:
-        return AccessCosts(
-            mac_checks=checks,
-            correction_iterations=iterations,
-            latency_cycles=(
-                checks * self.config.mac_latency_cycles
-                + iterations * self.config.parity_reconstruct_cycles
-            ),
-        )
-
-    def _due(self, raw: int, checks: int, iterations: int) -> ReadResult:
-        return ReadResult(
-            int_to_bytes(raw), ReadStatus.DETECTED_UE, self._costs(checks, iterations)
-        )
-
-    def _note_clean_read(self) -> None:
-        # A read explained without column recovery breaks any "permanent
-        # pin failure" streak.
-        self._consecutive_column_hits = 0
+    @property
+    def _consecutive_column_hits(self) -> int:
+        return self.columns.streak
 
     # -- fault-injection conveniences (used by tests and experiments) -------------
-
-    def inject_data_bits(self, address: int, mask: int) -> None:
-        """Flip data bits of the stored line (post-encode, i.e. in DRAM)."""
-        self.backend.inject_data_bits(address, mask)
-
-    def inject_meta_bits(self, address: int, mask: int) -> None:
-        """Flip metadata (ECC-chip) bits of the stored line."""
-        self.backend.inject_meta_bits(address, mask)
 
     def inject_pin_failure(self, address: int, pin: int, symbol_error: int) -> None:
         """Corrupt one data pin's 8-bit symbol (column-fault pattern, Fig. 4)."""

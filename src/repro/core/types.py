@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional
 
 
 class ReadStatus(enum.Enum):
@@ -84,6 +84,29 @@ class ControllerStats:
     #: DUE — silent data corruption. Only tracked when the backend keeps
     #: golden data (it does by default; see MemoryBackend).
     silent_corruptions: int = 0
+
+    @property
+    def corrected(self) -> int:
+        """Reads repaired by any mechanism (bit, column, chip or spare)."""
+        return (
+            self.corrected_bit
+            + self.corrected_column
+            + self.corrected_chip
+            + self.spare_hits
+        )
+
+    def snapshot(self) -> "ControllerStats":
+        """An immutable-by-convention copy for later delta computation."""
+        return replace(self)
+
+    def delta(self, since: "ControllerStats") -> "ControllerStats":
+        """Counters accumulated since a :meth:`snapshot`."""
+        return ControllerStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
 
     def observe(self, result: ReadResult, silent: bool) -> None:
         self.reads += 1

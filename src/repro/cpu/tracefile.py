@@ -17,8 +17,7 @@ gzip-compressed (``.gz`` suffix).
 from __future__ import annotations
 
 import gzip
-import io
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator
 
 from repro.cpu.trace import MemOp
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.ecc.gf import GF256
 from repro.ecc.reed_solomon import ReedSolomon, RSDecodeFailure

@@ -25,7 +25,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.utils.bits import bit_get, parity
+from repro.utils.bits import parity
 
 
 class DecodeStatus(enum.Enum):

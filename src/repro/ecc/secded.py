@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.ecc.hamming import DecodeResult, DecodeStatus, HammingSEC, HammingSECDED
-from repro.utils.bits import LINE_BITS, WORD_BITS, WORDS_PER_LINE, int_to_words, words_to_int
+from repro.utils.bits import LINE_BITS, WORD_BITS, int_to_words, words_to_int
 
 
 class SECDED72:

@@ -11,10 +11,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.reporting import format_table, print_banner
-from repro.faultsim.evaluators import ChipkillEvaluator, SafeGuardChipkillEvaluator
+from repro.faultsim.evaluators import evaluator_for
 from repro.faultsim.geometry import X4_CHIPKILL_16GB
 from repro.faultsim.montecarlo import MonteCarloConfig, ReliabilityResult
 from repro.faultsim.parallel import ProgressCallback, simulate_parallel
+
+
+#: The organizations Figure 10 compares, by registry scheme name.
+SCHEMES = ("chipkill", "safeguard-chipkill")
 
 
 def run(
@@ -23,6 +27,7 @@ def run(
     fit_multipliers: Tuple[float, ...] = (1.0, 10.0),
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    schemes: Tuple[str, ...] = SCHEMES,
 ) -> Dict[float, List[ReliabilityResult]]:
     """``workers``/``REPRO_MC_WORKERS`` parallelize without changing output."""
     geometry = X4_CHIPKILL_16GB
@@ -33,11 +38,9 @@ def run(
         )
         out[multiplier] = [
             simulate_parallel(
-                ChipkillEvaluator(geometry), geometry, config, progress=progress
-            ),
-            simulate_parallel(
-                SafeGuardChipkillEvaluator(geometry), geometry, config, progress=progress
-            ),
+                evaluator_for(name, geometry), geometry, config, progress=progress
+            )
+            for name in schemes
         ]
     return out
 

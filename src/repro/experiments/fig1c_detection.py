@@ -11,13 +11,9 @@ uncorrectable error — a reliability event.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.core.baselines import ConventionalChipkill, ConventionalSECDED
-from repro.core.chipkill import SafeGuardChipkill
-from repro.core.config import SafeGuardConfig
-from repro.core.secded import SafeGuardSECDED
+from repro.core import registry
 from repro.experiments.reporting import format_table, print_banner
 from repro.rowhammer.attacks import half_double
 from repro.rowhammer.integration import ConsumptionOutcome, VictimArray
@@ -26,14 +22,19 @@ from repro.rowhammer.model import DisturbanceModel, RowHammerConfig
 from repro.rowhammer.runner import AttackRunner
 
 
+#: The organizations Figure 1c compares, resolved by registry name.
+SCHEMES = ("secded", "safeguard-secded", "chipkill", "safeguard-chipkill")
+
+
 def run(
     rh_threshold: int = 1200,
     budget: int = 340_000,
     victim_row: int = 64,
     seeds: "tuple[int, ...]" = (3, 5, 7, 11, 13, 17),
     weak_cells: int = 64,
+    schemes: "tuple[str, ...]" = SCHEMES,
 ) -> List[ConsumptionOutcome]:
-    """Breakthrough attacks, then consumption under four organizations.
+    """Breakthrough attacks, then consumption under each organization.
 
     Several attack instances (different weak-cell populations) are
     aggregated so every consumption class appears: flips that ECC still
@@ -42,10 +43,8 @@ def run(
     """
     key = b"fig1c-demo-key!!"
     controllers = [
-        ("Conventional SECDED", ConventionalSECDED(SafeGuardConfig(key=key))),
-        ("SafeGuard (SECDED)", SafeGuardSECDED(SafeGuardConfig(key=key))),
-        ("Conventional Chipkill", ConventionalChipkill(SafeGuardConfig(key=key))),
-        ("SafeGuard (Chipkill)", SafeGuardChipkill(SafeGuardConfig(key=key))),
+        (registry.scheme(name).display, registry.create(name, key=key))
+        for name in schemes
     ]
     totals: List[ConsumptionOutcome] = [
         ConsumptionOutcome(organization=name) for name, _ in controllers
@@ -67,12 +66,7 @@ def run(
             for row in result.final_flip_bits:
                 array.populate_row(row)
             array.apply_flips(result.final_flip_bits)
-            outcome = array.read_all(name)
-            total.lines_read += outcome.lines_read
-            total.clean += outcome.clean
-            total.corrected += outcome.corrected
-            total.detected_ue += outcome.detected_ue
-            total.silent_corruptions += outcome.silent_corruptions
+            total.merge(array.read_all(name))
     return totals
 
 

@@ -10,15 +10,17 @@ involve fault modes whose detection is not guaranteed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.experiments.reporting import format_table, print_banner
-from repro.faultsim.evaluators import SafeGuardSECDEDEvaluator, SECDEDEvaluator
+from repro.faultsim.evaluators import evaluator_for
 from repro.faultsim.geometry import X8_SECDED_16GB
 from repro.faultsim.montecarlo import MonteCarloConfig, ReliabilityResult
 from repro.faultsim.parallel import ProgressCallback, simulate_parallel
-from repro.utils import units
+
+
+#: The organizations Figure 6 compares, by registry scheme name.
+SCHEMES = ("secded", "safeguard-secded-noparity", "safeguard-secded")
 
 
 def run(
@@ -26,15 +28,12 @@ def run(
     seed: int = 42,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    schemes: "tuple[str, ...]" = SCHEMES,
 ) -> List[ReliabilityResult]:
     """``workers``/``REPRO_MC_WORKERS`` parallelize without changing output."""
     config = MonteCarloConfig(n_modules=n_modules, seed=seed, workers=workers)
     geometry = X8_SECDED_16GB
-    evaluators = [
-        SECDEDEvaluator(geometry),
-        SafeGuardSECDEDEvaluator(geometry, column_parity=False),
-        SafeGuardSECDEDEvaluator(geometry, column_parity=True),
-    ]
+    evaluators = [evaluator_for(name, geometry) for name in schemes]
     return [
         simulate_parallel(evaluator, geometry, config, progress=progress)
         for evaluator in evaluators

@@ -11,7 +11,7 @@ sweeps the MAC latency from 8 to 80 cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.reporting import format_table, print_banner
@@ -21,7 +21,7 @@ from repro.perf.model import (
     geomean_slowdown_percent,
     run_comparison,
 )
-from repro.perf.organizations import PerfOrganization, safeguard, sgx_style, synergy_style
+from repro.perf.organizations import PerfOrganization, organization_for
 
 
 @dataclass
@@ -39,6 +39,10 @@ class PerfFigure:
         }
 
 
+#: The three MAC organizations Figures 12/13 compare, by registry name.
+MAC_SCHEMES = ("safeguard-secded", "sgx-mac", "synergy-mac")
+
+
 def _run(
     organizations: Sequence[PerfOrganization],
     workloads: Optional[Sequence[str]],
@@ -49,10 +53,14 @@ def _run(
 
 
 def run_fig7(
-    workloads: Optional[Sequence[str]] = None, config: Optional[PerfConfig] = None
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[PerfConfig] = None,
+    scheme: str = "safeguard-secded",
 ) -> PerfFigure:
     """Figure 7/11: SafeGuard vs. conventional ECC."""
-    return _run([safeguard(8)], workloads, config or PerfConfig())
+    return _run(
+        [organization_for(scheme, 8)], workloads, config or PerfConfig()
+    )
 
 
 def run_fig12(
@@ -60,7 +68,7 @@ def run_fig12(
 ) -> PerfFigure:
     """Figure 12: SafeGuard vs. SGX-style vs. Synergy-style MAC."""
     return _run(
-        [safeguard(8), sgx_style(8), synergy_style(8)],
+        [organization_for(name, 8) for name in MAC_SCHEMES],
         workloads,
         config or PerfConfig(),
     )
@@ -76,7 +84,7 @@ def run_fig13(
     out: Dict[int, PerfFigure] = {}
     for latency in latencies:
         out[latency] = _run(
-            [safeguard(latency), sgx_style(latency), synergy_style(latency)],
+            [organization_for(name, latency) for name in MAC_SCHEMES],
             workloads,
             config,
         )

@@ -31,6 +31,7 @@ from repro.experiments import (
     table4_resiliency,
     table5_storage,
 )
+from repro.core import registry
 from repro.faultsim.parallel import ProgressStats
 from repro.perf.model import PerfConfig
 
@@ -65,24 +66,27 @@ def _fig1b(workers: Optional[int] = None) -> None:
     fig1b_attacks.report(fig1b_attacks.run())
 
 
-def _fig1c(workers: Optional[int] = None) -> None:
-    fig1c_detection.report(fig1c_detection.run())
+def _fig1c(workers: Optional[int] = None, scheme: Optional[str] = None) -> None:
+    schemes = (scheme,) if scheme else fig1c_detection.SCHEMES
+    fig1c_detection.report(fig1c_detection.run(schemes=schemes))
 
 
-def _fig6(workers: Optional[int] = None) -> None:
+def _fig6(workers: Optional[int] = None, scheme: Optional[str] = None) -> None:
     progress = _print_progress if workers and workers > 1 else None
+    schemes = (scheme,) if scheme else fig6_reliability_secded.SCHEMES
     fig6_reliability_secded.report(
         fig6_reliability_secded.run(
-            n_modules=100_000, workers=workers, progress=progress
+            n_modules=100_000, workers=workers, progress=progress, schemes=schemes
         )
     )
 
 
-def _fig10(workers: Optional[int] = None) -> None:
+def _fig10(workers: Optional[int] = None, scheme: Optional[str] = None) -> None:
     progress = _print_progress if workers and workers > 1 else None
+    schemes = (scheme,) if scheme else fig10_reliability_chipkill.SCHEMES
     fig10_reliability_chipkill.report(
         fig10_reliability_chipkill.run(
-            n_modules=50_000, workers=workers, progress=progress
+            n_modules=50_000, workers=workers, progress=progress, schemes=schemes
         )
     )
 
@@ -91,9 +95,13 @@ _PERF_CONFIG = PerfConfig(instructions_per_core=150_000, warmup_instructions=40_
 _PERF_WORKLOADS = ["perlbench", "gcc", "mcf", "omnetpp", "leela", "bwaves", "lbm", "roms"]
 
 
-def _fig7(workers: Optional[int] = None) -> None:
+def _fig7(workers: Optional[int] = None, scheme: Optional[str] = None) -> None:
     perf_figures.report_per_workload(
-        perf_figures.run_fig7(workloads=_PERF_WORKLOADS, config=_PERF_CONFIG),
+        perf_figures.run_fig7(
+            workloads=_PERF_WORKLOADS,
+            config=_PERF_CONFIG,
+            scheme=scheme or "safeguard-secded",
+        ),
         "Figure 7: SafeGuard vs. conventional ECC",
     )
 
@@ -155,18 +163,38 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
 }
 
 
+#: Experiments that accept ``--scheme NAME`` (they instantiate one or
+#: more organizations from the scheme registry).
+SCHEME_AWARE = frozenset({"fig1c", "fig6", "fig7", "fig10", "fig11"})
+
+
 def experiment_names() -> List[str]:
     return sorted(EXPERIMENTS)
 
 
-def run_experiment(name: str, workers: Optional[int] = None) -> None:
-    """Run one experiment by name; raises KeyError for unknown names."""
+def run_experiment(
+    name: str, workers: Optional[int] = None, scheme: Optional[str] = None
+) -> None:
+    """Run one experiment by name; raises KeyError for unknown names.
+
+    ``scheme`` (a registry name) restricts scheme-aware experiments to a
+    single organization; other experiments reject it.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(experiment_names())}"
         ) from None
+    if scheme is not None:
+        if name not in SCHEME_AWARE:
+            raise ValueError(
+                f"experiment {name!r} does not take --scheme; "
+                f"scheme-aware: {', '.join(sorted(SCHEME_AWARE))}"
+            )
+        registry.scheme(scheme)  # unknown scheme names fail with the full list
+        runner(workers=workers, scheme=scheme)
+        return
     runner(workers=workers)
 
 

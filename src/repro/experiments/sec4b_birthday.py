@@ -9,9 +9,7 @@ before any line holds two.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import List
 
 from repro.core.analysis import BirthdayAnalysis, birthday_analysis
 from repro.experiments.reporting import format_table, print_banner

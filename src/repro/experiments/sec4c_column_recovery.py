@@ -14,9 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.config import SafeGuardConfig
-from repro.core.secded import SafeGuardSECDED
-from repro.core.types import ReadStatus
+from repro.core import registry
 from repro.experiments.reporting import format_table, print_banner
 from repro.utils.rng import make_rng
 
@@ -32,7 +30,7 @@ class RecoveryPoint:
 
 def run(pin: int = 29, reads: int = 8, seed: int = 9) -> List[RecoveryPoint]:
     rng = make_rng(seed)
-    controller = SafeGuardSECDED(SafeGuardConfig(key=b"sec4c-demo-key!!"))
+    controller = registry.create("safeguard-secded", key=b"sec4c-demo-key!!")
     golden = bytes(rng.getrandbits(8) for _ in range(64))
     points: List[RecoveryPoint] = []
 

@@ -25,9 +25,7 @@ from typing import Optional
 import random
 from dataclasses import dataclass
 
-from repro.core.baselines import ConventionalSECDED
-from repro.core.config import SafeGuardConfig
-from repro.core.secded import SafeGuardSECDED
+from repro.core import registry
 from repro.core.types import ReadStatus
 from repro.experiments.reporting import format_table, print_banner
 from repro.rowhammer.eccploit import ECCploitAttack
@@ -62,15 +60,15 @@ def run(seed: int = 7) -> SecurityReport:
     background_verdict = monitor.record_due(0x40000000, time_hours=1.0)
 
     # VII-C: replay.
-    replay = ReplayAttack(SafeGuardSECDED(SafeGuardConfig(key=key))).run()
+    replay = ReplayAttack(registry.create("safeguard-secded", key=key)).run()
     log10_windows = rowhammer_replay_feasibility(bits_to_restore=16)
 
     # VII-D: timing channels.
     eccploit_secded = ECCploitAttack(
-        ConventionalSECDED(SafeGuardConfig(key=key))
+        registry.create("secded", key=key)
     ).run(n_flips=3)
     eccploit_safeguard = ECCploitAttack(
-        SafeGuardSECDED(SafeGuardConfig(key=key))
+        registry.create("safeguard-secded", key=key)
     ).run(n_flips=3)
     secret = bytes(rng.getrandbits(8) for _ in range(32))
     plain = RAMBleedExperiment(seed=seed).run(secret)

@@ -21,7 +21,6 @@ from repro.core.analysis import (
 )
 from repro.experiments.reporting import format_table, print_banner
 from repro.mac.linemac import LineMAC
-from repro.utils import units
 from repro.utils.rng import make_rng
 
 
@@ -87,7 +86,7 @@ def report(analytic_rows=None, empirical_rows=None) -> str:
     print(table)
     chip = chip_failure_escape_time()
     print(
-        f"\nSection V-C: permanent chip failure without eager correction -> "
+        "\nSection V-C: permanent chip failure without eager correction -> "
         f"escape expected within {chip:.0f}s (< 1 minute) at memory speeds."
     )
     print("\nEmpirical 2^-n scaling of the real MAC construction:")

@@ -25,6 +25,6 @@ def report(entries: Optional[List[ThresholdEntry]] = None) -> str:
     print(table)
     print(
         f"\nFigure 1a: threshold reduced ~{reduction_factor():.0f}x "
-        f"(139K in 2014 -> 4.8K in 2020)"
+        "(139K in 2014 -> 4.8K in 2020)"
     )
     return table

@@ -25,10 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.baselines import ConventionalSECDED
-from repro.core.config import SafeGuardConfig
-from repro.core.secded import SafeGuardSECDED
-from repro.core.types import ReadStatus
+from repro.core import registry
 from repro.experiments.reporting import format_table, print_banner
 from repro.utils.rng import make_rng
 
@@ -109,18 +106,20 @@ def _inject(controller, address: int, mode: str, rng: random.Random) -> None:
 MODES = ["bit", "column", "word", "row", "bank", "multibank", "multirank"]
 
 
+#: Table label -> registry scheme name. The labels are the paper's column
+#: headings; the controllers come from the scheme registry.
+SCHEMES: "List[Tuple[str, str]]" = [
+    ("SECDED", "secded"),
+    ("SafeGuard", "safeguard-secded"),
+    ("SafeGuard (no parity)", "safeguard-secded-noparity"),
+]
+
+
 def run(trials: int = 60, seed: int = 11) -> List[ModeScore]:
     key = b"table4-demo-key!"
     schemes: List[Tuple[str, Callable[[], object]]] = [
-        ("SECDED", lambda: ConventionalSECDED(SafeGuardConfig(key=key))),
-        (
-            "SafeGuard",
-            lambda: SafeGuardSECDED(SafeGuardConfig(key=key, column_parity=True)),
-        ),
-        (
-            "SafeGuard (no parity)",
-            lambda: SafeGuardSECDED(SafeGuardConfig(key=key, column_parity=False)),
-        ),
+        (label, lambda name=name: registry.create(name, key=key))
+        for label, name in SCHEMES
     ]
     rng = make_rng(seed)
     scores: List[ModeScore] = []

@@ -25,8 +25,9 @@ SafeGuard-Chipkill detects arbitrary corruption (always DUE, never SDC).
 from __future__ import annotations
 
 import enum
-from typing import List
+from typing import Callable, Dict, List
 
+from repro.core import registry
 from repro.faultsim.faults import FaultInstance, Pattern
 from repro.faultsim.fit import Scope
 from repro.faultsim.geometry import ModuleGeometry
@@ -135,3 +136,38 @@ class SafeGuardChipkillEvaluator(ChipkillEvaluator):
     def classify(self, existing: List[FaultInstance], new: FaultInstance) -> Outcome:
         outcome = super().classify(existing, new)
         return Outcome.DUE if outcome is Outcome.SDC else outcome
+
+
+#: Registry scheme name -> FaultSim evaluator factory. The encrypted
+#: variant shares its inner scheme's fault-outcome classes (encryption
+#: changes what leaks, not what the codes correct or detect).
+_EVALUATORS: Dict[str, Callable[[ModuleGeometry], object]] = {
+    "secded": SECDEDEvaluator,
+    "safeguard-secded": lambda g: SafeGuardSECDEDEvaluator(g, column_parity=True),
+    "safeguard-secded-noparity": lambda g: SafeGuardSECDEDEvaluator(
+        g, column_parity=False
+    ),
+    "encrypted-safeguard-secded": lambda g: SafeGuardSECDEDEvaluator(
+        g, column_parity=True
+    ),
+    "chipkill": ChipkillEvaluator,
+    "safeguard-chipkill": SafeGuardChipkillEvaluator,
+}
+
+
+def evaluator_for(scheme_name: str, geometry: ModuleGeometry):
+    """FaultSim evaluator for a registered scheme, by registry name.
+
+    Raises ``KeyError`` for names not in the scheme registry and
+    ``ValueError`` for registered schemes (the standalone MAC baselines)
+    that have no FaultSim reliability model.
+    """
+    registry.scheme(scheme_name)  # unknown names fail with the full list
+    try:
+        factory = _EVALUATORS[scheme_name]
+    except KeyError:
+        raise ValueError(
+            f"scheme {scheme_name!r} has no FaultSim evaluator; "
+            f"modeled: {', '.join(sorted(_EVALUATORS))}"
+        ) from None
+    return factory(geometry)

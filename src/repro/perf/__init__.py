@@ -8,6 +8,7 @@ baseline, exactly the quantity the paper's performance figures plot.
 from repro.perf.organizations import (
     PerfOrganization,
     BASELINE_ECC,
+    organization_for,
     safeguard,
     sgx_style,
     synergy_style,
@@ -17,6 +18,7 @@ from repro.perf.model import PerfConfig, WorkloadResult, run_workload, run_compa
 __all__ = [
     "PerfOrganization",
     "BASELINE_ECC",
+    "organization_for",
     "safeguard",
     "sgx_style",
     "synergy_style",

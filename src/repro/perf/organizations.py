@@ -71,3 +71,24 @@ def synergy_style(mac_latency_cycles: int = 8) -> PerfOrganization:
         read_tail_cpu_cycles=mac_latency_cycles,
         extra_write_per_writeback=True,
     )
+
+
+def organization_for(scheme_name: str, mac_latency_cycles: int = 8) -> PerfOrganization:
+    """Performance descriptor for a registered scheme, by registry name.
+
+    Derived from the scheme registry's capability flags rather than a
+    per-scheme table: no MAC means inline ECC only; an SGX-style separate
+    MAC region adds an extra read and write; a Synergy-style parity region
+    adds the extra write; everything else (SafeGuard's in-ECC metadata,
+    with or without encryption) pays only the MAC-check tail.
+    """
+    from repro.core import registry
+
+    info = registry.scheme(scheme_name)
+    if not info.has_mac:
+        return BASELINE_ECC
+    if scheme_name == "sgx-mac":
+        return sgx_style(mac_latency_cycles)
+    if scheme_name == "synergy-mac":
+        return synergy_style(mac_latency_cycles)
+    return safeguard(mac_latency_cycles)

@@ -19,7 +19,7 @@ to flip. Patterns:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Sequence
+from typing import Callable, Iterator, Sequence
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ The paper's two criticisms are both measurable here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.rowhammer.mitigations import Mitigation
 from repro.utils.rng import derive_seed

@@ -9,14 +9,19 @@ memory organization, read the victim lines back, and classify what the
   wider flips silently consumed or miscorrected (SDC — the security risk);
 - SafeGuard: the same flips are either corrected or flagged as DUEs —
   never silently consumed (a reliability event, not a security risk).
+
+Classification comes from the controller's own pipeline instrumentation
+(:class:`~repro.core.types.ControllerStats` deltas — every scheme reports
+the same counters through the same observation path), not from ad-hoc
+per-read bookkeeping here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
 
-from repro.core.types import ReadStatus
+from repro.core.types import ControllerStats
 from repro.utils.bits import LINE_BITS
 
 
@@ -35,6 +40,21 @@ class ConsumptionOutcome:
     def security_risk(self) -> bool:
         """True if any corrupted data was silently consumed."""
         return self.silent_corruptions > 0
+
+    def add_stats(self, delta: ControllerStats) -> None:
+        """Accumulate a controller-stats delta (one batch of reads)."""
+        self.lines_read += delta.reads
+        self.clean += delta.clean_reads
+        self.corrected += delta.corrected
+        self.detected_ue += delta.dues
+        self.silent_corruptions += delta.silent_corruptions
+
+    def merge(self, other: "ConsumptionOutcome") -> None:
+        self.lines_read += other.lines_read
+        self.clean += other.clean
+        self.corrected += other.corrected
+        self.detected_ue += other.detected_ue
+        self.silent_corruptions += other.silent_corruptions
 
 
 class VictimArray:
@@ -91,21 +111,18 @@ class VictimArray:
     # -- consumption --------------------------------------------------------------
 
     def read_all(self, organization_name: str = "") -> ConsumptionOutcome:
-        """Read every populated line; classify what software would see."""
+        """Read every populated line; classify what software would see.
+
+        Classification is the controller's own: the stats delta across the
+        sweep supplies clean/corrected/DUE counts and the golden-copy
+        silent-corruption verdict.
+        """
         outcome = ConsumptionOutcome(
             organization=organization_name or type(self.controller).__name__
         )
+        before = self.controller.stats.snapshot()
         for row in sorted(self._written_rows):
             for i in range(self.lines_per_row):
-                address = self.line_address(row, i)
-                result = self.controller.read(address)
-                outcome.lines_read += 1
-                if result.status is ReadStatus.DETECTED_UE:
-                    outcome.detected_ue += 1
-                elif result.status is ReadStatus.CLEAN:
-                    outcome.clean += 1
-                else:
-                    outcome.corrected += 1
-                if result.ok and result.data != self._fill:
-                    outcome.silent_corruptions += 1
+                self.controller.read(self.line_address(row, i))
+        outcome.add_stats(self.controller.stats.delta(before))
         return outcome

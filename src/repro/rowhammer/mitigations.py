@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.utils.rng import derive_seed

@@ -26,8 +26,8 @@ Two further properties matter for fidelity to the attacks:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.utils.rng import derive_seed
 

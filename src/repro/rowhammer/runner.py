@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.rowhammer.attacks import AttackPattern
 from repro.rowhammer.mitigations import Mitigation, NoMitigation
-from repro.rowhammer.model import DisturbanceModel, RowHammerConfig
+from repro.rowhammer.model import DisturbanceModel
 
 from repro.dram.timing import max_activations_per_refresh_window
 

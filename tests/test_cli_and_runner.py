@@ -3,6 +3,7 @@
 import pytest
 
 from repro.__main__ import main
+from repro.core.registry import names as scheme_names
 from repro.experiments.runner import EXPERIMENTS, experiment_names, run_experiment
 
 
@@ -50,3 +51,25 @@ class TestCLI:
         assert main(["sec7"]) == 0
         out = capsys.readouterr().out
         assert "RAMBleed" in out
+
+    def test_schemes_lists_registry_with_flags(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in scheme_names():
+            assert name in out
+        assert "mac,column-parity" in out
+        assert "chipkill" in out
+
+    def test_scheme_flag_restricts_experiment(self, capsys):
+        assert main(["fig1c", "--scheme", "safeguard-secded"]) == 0
+        out = capsys.readouterr().out
+        assert "SafeGuard (SECDED)" in out
+        assert "Conventional SECDED" not in out
+
+    def test_scheme_flag_unknown_scheme(self, capsys):
+        assert main(["fig1c", "--scheme", "no-such"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_scheme_flag_rejected_by_scheme_unaware_experiment(self, capsys):
+        assert main(["table1", "--scheme", "secded"]) == 2
+        assert "does not take --scheme" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Tests for the analytic reproductions (Sections IV-B, V-C, VII-E, Table V)."""
 
-import math
 
 import pytest
 

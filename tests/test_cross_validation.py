@@ -14,7 +14,6 @@ import pytest
 from repro.core.baselines import ConventionalSECDED
 from repro.core.config import SafeGuardConfig
 from repro.core.secded import SafeGuardSECDED
-from repro.core.types import ReadStatus
 from repro.faultsim.evaluators import Outcome, SafeGuardSECDEDEvaluator, SECDEDEvaluator
 from repro.faultsim.faults import place_fault
 from repro.faultsim.fit import Scope

@@ -1,6 +1,5 @@
 """Tests for the DRAM timing model (timing, mapping, banks, controller)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for activation-rate constraints (tRRD/tFAW) and derived budgets."""
 
-import pytest
 
 from repro.dram.controller import MemoryController
 from repro.dram.timing import (
@@ -55,7 +54,7 @@ class TestActivationPacing:
 
     def test_ranks_paced_independently(self):
         mc = MemoryController(enable_refresh=False)
-        t0 = mc._admit_activation(0, 0.0)
+        mc._admit_activation(0, 0.0)
         for _ in range(4):
             mc._admit_activation(0, 0.0)
         # Rank 1 is unaffected by rank 0's tFAW window.

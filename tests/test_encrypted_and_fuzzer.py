@@ -10,7 +10,7 @@ from repro.core.encrypted import EncryptedController
 from repro.core.secded import SafeGuardSECDED
 from repro.core.types import ReadStatus
 from repro.rowhammer.fuzzer import PatternFuzzer, PatternGenome
-from repro.rowhammer.mitigations import GrapheneMitigation, NoMitigation, TRRMitigation
+from repro.rowhammer.mitigations import NoMitigation, TRRMitigation
 
 MAC_KEY = b"mac-key-16bytes!"
 ENC_KEY = b"enc-key-16bytes!"

@@ -1,6 +1,5 @@
 """Smoke tests: every experiment module runs and reports at small scale."""
 
-import pytest
 
 from repro.experiments import (
     fig1b_attacks,

@@ -38,7 +38,6 @@ from repro.faultsim.montecarlo import (
     simulate_range,
 )
 from repro.faultsim.parallel import (
-    Shard,
     plan_shards,
     resolve_workers,
     simulate_parallel,

@@ -11,7 +11,6 @@ from repro.perf.model import (
 )
 from repro.perf.organizations import (
     BASELINE_ECC,
-    PerfOrganization,
     safeguard,
     sgx_style,
     synergy_style,

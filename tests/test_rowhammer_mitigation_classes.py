@@ -9,7 +9,7 @@ from repro.rowhammer.global_refresh import (
     required_refresh_window,
 )
 from repro.rowhammer.isolation import GuardRowAllocator, evaluate_isolation
-from repro.rowhammer.mitigations import GrapheneMitigation, TRRMitigation
+from repro.rowhammer.mitigations import TRRMitigation
 
 
 class TestGuardRowAllocator:

@@ -1,7 +1,6 @@
 """Tests for confidence intervals, weighted speedup, and reporting."""
 
 import csv
-import math
 
 import pytest
 

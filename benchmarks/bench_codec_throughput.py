@@ -24,11 +24,28 @@ def test_mac_compute_throughput(benchmark):
     assert 0 <= result < (1 << 46)
 
 
+def test_mac_compute_batch_throughput(benchmark):
+    mac = LineMAC(b"bench-key-123456", 46)
+    lines = [RNG.getrandbits(512).to_bytes(64, "little") for _ in range(64)]
+    addresses = [64 * i for i in range(64)]
+    results = benchmark(mac.compute_batch, lines, addresses)
+    assert len(results) == 64
+    assert all(0 <= r < (1 << 46) for r in results)
+
+
 def test_line_ecc1_encode_throughput(benchmark):
     code = LineECC1(566)
     payload = RNG.getrandbits(566)
     checks = benchmark(code.encode, payload)
     assert 0 <= checks < (1 << 10)
+
+
+def test_line_ecc1_correct_clean_throughput(benchmark):
+    code = LineECC1(566)
+    payload = RNG.getrandbits(566)
+    checks = code.encode(payload)
+    result = benchmark(code.correct, payload, checks)
+    assert result.data == payload
 
 
 def test_word_secded_encode_throughput(benchmark):
@@ -37,10 +54,38 @@ def test_word_secded_encode_throughput(benchmark):
     assert 0 <= ecc < (1 << 64)
 
 
+def test_word_secded_decode_clean_throughput(benchmark):
+    code = WordSECDEDLine()
+    _, ecc = code.encode(LINE_INT)
+    result = benchmark(code.decode, LINE_INT, ecc)
+    assert result.data == LINE_INT
+
+
+def test_word_secded_encode_batch_throughput(benchmark):
+    code = WordSECDEDLine()
+    lines = [RNG.getrandbits(512) for _ in range(64)]
+    results = benchmark(code.encode_batch, lines)
+    assert len(results) == 64
+
+
 def test_chipkill_encode_throughput(benchmark):
     code = ChipkillCode()
     _, checks = benchmark(code.encode, LINE_INT)
     assert 0 <= checks < (1 << 64)
+
+
+def test_chipkill_decode_clean_throughput(benchmark):
+    code = ChipkillCode()
+    _, checks = code.encode(LINE_INT)
+    result = benchmark(code.decode, LINE_INT, checks)
+    assert result.data == LINE_INT
+
+
+def test_chipkill_encode_batch_throughput(benchmark):
+    code = ChipkillCode()
+    lines = [RNG.getrandbits(512) for _ in range(64)]
+    results = benchmark(code.encode_batch, lines)
+    assert len(results) == 64
 
 
 def test_safeguard_write_read_throughput(benchmark):
@@ -52,3 +97,13 @@ def test_safeguard_write_read_throughput(benchmark):
 
     result = benchmark(write_read)
     assert result.ok
+
+
+def test_safeguard_access_many_throughput(benchmark):
+    controller = create("safeguard-secded", key=b"bench-key-123456")
+    addresses = [64 * i for i in range(64)]
+    for a in addresses:
+        controller.write(a, LINE_BYTES)
+
+    results = benchmark(controller.access_many, addresses)
+    assert all(r.ok for r in results)

@@ -16,7 +16,7 @@ logic reads it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Set
 
 from repro.utils.bits import LINE_BYTES
 
@@ -36,6 +36,11 @@ class MemoryBackend:
         self.line_bytes = line_bytes
         self._store: Dict[int, StoredLine] = {}
         self._golden: Dict[int, bytes] = {}
+        #: Addresses whose read outcome may deviate from a clean decode —
+        #: injected lines, plus lines flagged via :meth:`mark_injected` by
+        #: controllers with out-of-backend state. Powers the batched
+        #: pristine-line fast path (``MemoryController.access_many``).
+        self._injected: Set[int] = set()
 
     def _check_aligned(self, address: int) -> None:
         if address % self.line_bytes:
@@ -49,6 +54,7 @@ class MemoryBackend:
         self._check_aligned(address)
         self._store[address] = StoredLine(data, meta)
         self._golden[address] = golden
+        self._injected.discard(address)
 
     def load(self, address: int) -> StoredLine:
         self._check_aligned(address)
@@ -72,11 +78,16 @@ class MemoryBackend:
         """XOR ``mask`` into the stored 512-bit data of a line."""
         entry = self.load(address)
         entry.data ^= mask
+        if mask:
+            self._injected.add(address)
 
     def inject_meta_bits(self, address: int, mask: int) -> None:
         """XOR ``mask`` into the stored 64-bit metadata of a line."""
         entry = self.load(address)
-        entry.meta ^= mask & ((1 << 64) - 1)
+        mask &= (1 << 64) - 1
+        entry.meta ^= mask
+        if mask:
+            self._injected.add(address)
 
     def inject_bit(self, address: int, bit: int) -> None:
         """Flip one bit of the 576-bit stored burst (bits 512+ hit metadata)."""
@@ -84,6 +95,19 @@ class MemoryBackend:
             self.inject_data_bits(address, 1 << bit)
         else:
             self.inject_meta_bits(address, 1 << (bit - self.line_bytes * 8))
+
+    def mark_injected(self, address: int) -> None:
+        """Flag a line as faulted even though its stored bits are intact.
+
+        For controllers holding protection state outside the backend (a
+        separate MAC or parity region): corrupting that state must also
+        disqualify the line from the pristine fast path.
+        """
+        self._injected.add(address)
+
+    def is_pristine(self, address: int) -> bool:
+        """True iff the line's bits are exactly as the last write left them."""
+        return address not in self._injected
 
     # -- golden-copy instrumentation ------------------------------------------------
 

@@ -56,6 +56,10 @@ class ConventionalSECDED(MemoryController):
             return ReadResult(int_to_bytes(decode.data), ReadStatus.CORRECTED_BIT)
         return ReadResult(int_to_bytes(decode.data), ReadStatus.CLEAN)
 
+    def _clean_read(self, ctx, address, stored):
+        # A pristine line decodes clean; the plain path reports default costs.
+        return ReadResult(int_to_bytes(stored.data), ReadStatus.CLEAN)
+
 
 class ConventionalChipkill(MemoryController):
     """x4 symbol-based Chipkill DIMM (the paper's Chipkill baseline)."""
@@ -83,12 +87,19 @@ class ConventionalChipkill(MemoryController):
             )
         return ReadResult(int_to_bytes(decode.data), ReadStatus.CLEAN)
 
+    def _clean_read(self, ctx, address, stored):
+        return ReadResult(int_to_bytes(stored.data), ReadStatus.CLEAN)
+
     def inject_chip_failure(self, address: int, chip: int, error_mask32: int) -> None:
         """XOR a per-beat nibble pattern into one chip (0..17)."""
         stored = self.backend.load(address)
-        stored.data, stored.meta = self._code.corrupt_chip(
+        new_data, new_meta = self._code.corrupt_chip(
             stored.data, stored.meta, chip, error_mask32
         )
+        data_mask = stored.data ^ new_data
+        meta_mask = stored.meta ^ new_meta
+        self.backend.inject_data_bits(address, data_mask)
+        self.backend.inject_meta_bits(address, meta_mask)
 
 
 class SGXStyleMAC(MemoryController):
@@ -134,9 +145,20 @@ class SGXStyleMAC(MemoryController):
             status = ReadStatus.CLEAN
         return ReadResult(data, status, self._costs(ctx))
 
+    def _clean_read(self, ctx, address, stored):
+        # Pristine line *and* untouched MAC region (inject_mac_bits marks
+        # the line): decode is clean and the MAC check matches.
+        ctx.extra_memory_accesses = self.READ_EXTRA_ACCESSES
+        self.mac.assume_match(ctx)
+        return ReadResult(
+            int_to_bytes(stored.data), ReadStatus.CLEAN, self._costs(ctx)
+        )
+
     def inject_mac_bits(self, address: int, mask: int) -> None:
         """Corrupt the separately stored MAC (it lives in DRAM too)."""
         self._mac_region[address] = self._mac_region.get(address, 0) ^ mask
+        if mask:
+            self.backend.mark_injected(address)
 
 
 class SynergyStyleMAC(MemoryController):
@@ -183,6 +205,11 @@ class SynergyStyleMAC(MemoryController):
             return self._result(ctx, raw, ReadStatus.CLEAN)
         return self._correct(ctx, address, raw, meta)
 
+    def _clean_read(self, ctx, address, stored):
+        # Pristine line: the co-located MAC matches; no parity fetch.
+        self.mac.assume_match(ctx)
+        return self._result(ctx, stored.data, ReadStatus.CLEAN)
+
     def _correct(
         self, ctx: AccessContext, address: int, raw: int, mac: int
     ) -> ReadResult:
@@ -213,9 +240,10 @@ class SynergyStyleMAC(MemoryController):
         if chip < self.N_CHIPS:
             stored = self.backend.load(address)
             current = extract_chip_bits(stored.data, chip, 8, self.N_CHIPS)
-            stored.data = insert_chip_bits(
+            new_data = insert_chip_bits(
                 stored.data, chip, current ^ error_mask64, 8, self.N_CHIPS
             )
+            self.backend.inject_data_bits(address, stored.data ^ new_data)
         elif chip == self.N_CHIPS:
             self.backend.inject_meta_bits(address, error_mask64)
         else:

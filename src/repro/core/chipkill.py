@@ -91,6 +91,15 @@ class SafeGuardChipkill(MemoryController):
             return self._read_eager(ctx, address, raw, mac, parity)
         return self._read_iterative(ctx, address, raw, mac, parity)
 
+    def _clean_read(self, ctx, address, stored):
+        # Eager mode reconstructs the remembered chip even on fault-free
+        # lines (and resets the history) — let the full path run.
+        if self.config.eager_correction and self.chips.eager_ready:
+            return None
+        # Iterative path on a pristine line: the first MAC check matches.
+        self.mac.assume_match(ctx)
+        return self._result(ctx, stored.data, ReadStatus.CLEAN)
+
     def _read_iterative(
         self, ctx: AccessContext, address: int, raw: int, mac: int, parity: int
     ) -> ReadResult:

@@ -65,6 +65,13 @@ class EncryptedController:
             self.inner.stats.silent_corruptions += 1
         return replace(result, data=plain)
 
+    def access_many(self, addresses) -> "list[ReadResult]":
+        # The per-read silent-corruption bookkeeping keys on the inner
+        # counter moving during *this* read, so the batch cannot bypass
+        # the scalar path. The inner controller's own batching is still
+        # reachable by wrapping it differently; correctness first here.
+        return [self.read(address) for address in addresses]
+
     def stored_ciphertext(self, address: int) -> bytes:
         """The bits actually resident in DRAM (what RAMBleed can sense)."""
         from repro.utils.bits import int_to_bytes

@@ -198,6 +198,18 @@ class MacStage:
         self._log.emit(AccessEventKind.MAC_CHECK, ctx.address, detail=int(ok))
         return ok
 
+    def assume_match(self, ctx: AccessContext) -> None:
+        """Bill a MAC check whose success is certain without computing it.
+
+        The pristine fast path (:meth:`MemoryController.access_many`) uses
+        this for lines whose stored bits are untouched since the write:
+        the verification outcome is predetermined, but the access must
+        still account for the check — same counter, same event — so batch
+        and scalar reads report identical costs.
+        """
+        ctx.mac_checks += 1
+        self._log.emit(AccessEventKind.MAC_CHECK, ctx.address, detail=1)
+
 
 # -- correction-search history ---------------------------------------------------
 
@@ -329,6 +341,19 @@ class MemoryController:
         """Chance to service the access without touching the backend."""
         return None
 
+    def _clean_read(self, ctx, address: int, stored) -> Optional[ReadResult]:
+        """Service a read of a line with no injected faults, or None.
+
+        Only invoked from :meth:`access_many`, and only when the backend
+        guarantees the stored bits are exactly as the last write left them
+        (``is_pristine``). An implementation must reproduce the full read
+        path's outcome for that case *bit-for-bit* — same data, status,
+        costs, events and search-history side effects — and must return
+        None whenever its state could make the clean path deviate (e.g.
+        an eager-correction mode is armed). Default: no fast path.
+        """
+        return None
+
     def _post_write(self, address: int, line: int, meta: int, data: bytes) -> None:
         """Side-region bookkeeping after the backend store."""
 
@@ -360,6 +385,34 @@ class MemoryController:
         if result is None:
             stored = self.backend.load(address)
             result = self._read_path(ctx, address, stored.data, stored.meta)
+        return self._finish_read(address, result)
+
+    def access_many(self, addresses) -> List[ReadResult]:
+        """Read a batch of lines; equivalent to ``[self.read(a) for a in ...]``.
+
+        The batch path may service lines the backend knows are pristine
+        through the scheme's :meth:`_clean_read` shortcut, skipping decode
+        and MAC arithmetic whose outcome is predetermined — with identical
+        results, statistics and events. Lines with injected faults (and
+        any access a scheme's state makes non-trivial) go through the full
+        read path. Scalar :meth:`read` never takes the shortcut, so
+        single-op measurements keep timing the real machinery.
+        """
+        backend = self.backend
+        results = []
+        for address in addresses:
+            ctx = AccessContext(address)
+            result = self._pre_read(ctx, address)
+            if result is None:
+                stored = backend.load(address)
+                if backend.is_pristine(address):
+                    result = self._clean_read(ctx, address, stored)
+                if result is None:
+                    result = self._read_path(ctx, address, stored.data, stored.meta)
+            results.append(self._finish_read(address, result))
+        return results
+
+    def _finish_read(self, address: int, result: ReadResult) -> ReadResult:
         silent = self.backend.is_silent_corruption(address, result.data, result.due)
         self.stats.observe(result, silent)
         self._emit_read_events(address, result, silent)

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
+from repro.ecc import kernels
 from repro.ecc.gf import GF256
 from repro.ecc.reed_solomon import ReedSolomon, RSDecodeFailure
 from repro.utils.bits import LINE_BITS
@@ -63,8 +64,15 @@ class ChipkillCode:
 
     def __init__(self):
         self._rs = ReedSolomon(GF256, self.N_CHIPS, self.DATA_CHIPS)
+        self._fast = kernels.use_fast()
 
     # -- symbol packing -------------------------------------------------------
+
+    def _all_pair_symbols(self, line: int) -> List[List[int]]:
+        """The data symbols of every beat-pair (numpy transpose when fast)."""
+        if self._fast:
+            return kernels.chipkill_pair_symbols(line)
+        return [self._pair_symbols(line, pair) for pair in range(self.BEAT_PAIRS)]
 
     def _pair_symbols(self, line: int, pair: int) -> List[int]:
         """The 16 data symbols of beat-pair ``pair`` (chip order)."""
@@ -99,8 +107,8 @@ class ChipkillCode:
         if line < 0 or line >> LINE_BITS:
             raise ValueError("line does not fit in 512 bits")
         checks = 0
-        for pair in range(self.BEAT_PAIRS):
-            codeword = self._rs.encode(self._pair_symbols(line, pair))
+        for pair, symbols in enumerate(self._all_pair_symbols(line)):
+            codeword = self._rs.encode(symbols)
             c0, c1 = codeword[self.DATA_CHIPS], codeword[self.DATA_CHIPS + 1]
             checks |= (c0 | (c1 << 8)) << (16 * pair)
         return line, checks
@@ -110,8 +118,7 @@ class ChipkillCode:
         corrected_line = line
         corrected_chips: Set[int] = set()
         worst = ChipkillStatus.CLEAN
-        for pair in range(self.BEAT_PAIRS):
-            symbols = self._pair_symbols(line, pair)
+        for pair, symbols in enumerate(self._all_pair_symbols(line)):
             field = (checks >> (16 * pair)) & 0xFFFF
             received = symbols + [field & 0xFF, (field >> 8) & 0xFF]
             try:
@@ -127,6 +134,18 @@ class ChipkillCode:
                     corrected_line, pair, list(result.data)
                 )
         return ChipkillResult(corrected_line, worst, tuple(sorted(corrected_chips)))
+
+    # -- batched API ----------------------------------------------------------
+
+    def encode_batch(self, lines: Iterable[int]) -> List[Tuple[int, int]]:
+        """Encode many lines; one ``(line, checks)`` pair per input line."""
+        return [self.encode(line) for line in lines]
+
+    def decode_batch(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[ChipkillResult]:
+        """Decode many ``(line, checks)`` pairs."""
+        return [self.decode(line, checks) for line, checks in pairs]
 
     # -- fault-injection helpers ------------------------------------------------
 

@@ -61,7 +61,8 @@ class GF2m:
         """Field multiplication."""
         if a == 0 or b == 0:
             return 0
-        return self.exp[self.log[a] + self.log[b]]
+        log = self.log
+        return self.exp[log[a] + log[b]]
 
     def div(self, a: int, b: int) -> int:
         """Field division; raises ZeroDivisionError on b == 0."""
@@ -103,13 +104,16 @@ class GF2m:
 
     def poly_mul(self, a: List[int], b: List[int]) -> List[int]:
         """Polynomial product."""
+        exp = self.exp
+        log = self.log
         out = [0] * (len(a) + len(b) - 1)
         for i, ca in enumerate(a):
             if ca == 0:
                 continue
+            log_ca = log[ca]
             for j, cb in enumerate(b):
                 if cb:
-                    out[i + j] ^= self.mul(ca, cb)
+                    out[i + j] ^= exp[log_ca + log[cb]]
         return out
 
     def poly_scale(self, a: List[int], s: int) -> List[int]:

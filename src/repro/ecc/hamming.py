@@ -25,6 +25,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.ecc import kernels
 from repro.utils.bits import parity
 
 
@@ -92,11 +93,26 @@ class HammingSEC:
                 if (pos >> i) & 1:
                     mask |= 1 << data_index
             self._coverage.append(mask)
+        # Table-driven scatter/gather + syndrome kernel (shared per layout);
+        # None under REPRO_KERNELS=reference, which keeps the positional
+        # loops below as the oracle.
+        self._kernel = (
+            kernels.hamming_kernel(
+                k,
+                self.n,
+                tuple(self._data_positions),
+                tuple(self._check_positions),
+            )
+            if kernels.use_fast()
+            else None
+        )
 
     def encode(self, data: int) -> int:
         """Encode ``k`` data bits into an ``n``-bit codeword."""
         if data < 0 or data >> self.k:
             raise ValueError(f"data does not fit in {self.k} bits")
+        if self._kernel is not None:
+            return self._kernel.encode(data)
         check = 0
         for i in range(self.r):
             check |= parity(data & self._coverage[i]) << i
@@ -123,6 +139,10 @@ class HammingSEC:
     # -- internals ---------------------------------------------------------
 
     def _assemble(self, data: int, check: int) -> int:
+        if self._kernel is not None:
+            return self._kernel.scatter_data(data) | self._kernel.scatter_checks(
+                check
+            )
         codeword = 0
         for data_index, pos in enumerate(self._data_positions):
             if (data >> data_index) & 1:
@@ -133,6 +153,8 @@ class HammingSEC:
         return codeword
 
     def _extract_data(self, codeword: int) -> int:
+        if self._kernel is not None:
+            return self._kernel.gather_data(codeword)
         data = 0
         for data_index, pos in enumerate(self._data_positions):
             if (codeword >> (pos - 1)) & 1:
@@ -140,6 +162,8 @@ class HammingSEC:
         return data
 
     def _syndrome(self, codeword: int) -> int:
+        if self._kernel is not None:
+            return self._kernel.syndrome(codeword)
         syndrome = 0
         remaining = codeword
         pos = 0

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.ecc import kernels
 from repro.utils.bits import (
     extract_chip_bits,
     extract_pin_symbols,
@@ -32,6 +33,14 @@ CHIP_CONTRIBUTION_BITS = 32  #: 4 bits x 8 beats per line
 
 def column_parity(line: int) -> int:
     """8-bit XOR of the 64 pin symbols of a 512-bit line."""
+    if kernels.use_fast():
+        # Bit ``b`` of the XOR of all pin symbols is the parity of beat
+        # word ``b`` — no symbol extraction needed.
+        parity = 0
+        for beat in range(PIN_SYMBOL_BITS):
+            word = (line >> (beat * N_DATA_PINS)) & ((1 << N_DATA_PINS) - 1)
+            parity |= (word.bit_count() & 1) << beat
+        return parity
     parity = 0
     for symbol in extract_pin_symbols(line, N_DATA_PINS):
         parity ^= symbol
@@ -44,6 +53,14 @@ def recover_pin(line: int, pin: int, parity: int) -> int:
     Returns the repaired line assuming the failure is confined to that pin
     (the caller verifies the guess with the MAC).
     """
+    if kernels.use_fast():
+        # XOR of all *other* symbols = full column parity with the target
+        # pin's own symbol cancelled back out.
+        own = 0
+        for beat in range(PIN_SYMBOL_BITS):
+            own |= ((line >> (beat * N_DATA_PINS + pin)) & 1) << beat
+        recovered = parity ^ column_parity(line) ^ own
+        return insert_pin_symbol(line, pin, recovered, N_DATA_PINS)
     symbols = extract_pin_symbols(line, N_DATA_PINS)
     recovered = parity
     for p, symbol in enumerate(symbols):

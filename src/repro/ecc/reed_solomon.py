@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro.ecc import kernels
 from repro.ecc.gf import GF2m
 
 
@@ -58,6 +59,13 @@ class ReedSolomon:
         for i in range(self.n_checks):
             gen = field.poly_mul(gen, [field.alpha_pow(fcr + i), 1])
         self._generator = gen
+        # Log-domain lookup tables for encode/syndromes (shared per layout);
+        # None under REPRO_KERNELS=reference.
+        self._kernel = (
+            kernels.rs_kernel(field, n, k, fcr, gen)
+            if kernels.use_fast() and field.m <= 8
+            else None
+        )
 
     # -- encode --------------------------------------------------------------
 
@@ -65,6 +73,8 @@ class ReedSolomon:
         """Data symbols -> full codeword (data followed by checks)."""
         if len(data) != self.k:
             raise ValueError(f"expected {self.k} data symbols")
+        if self._kernel is not None:
+            return list(data) + self._kernel.encode_checks(data)
         field = self.field
         # Message polynomial m(x) * x^(2t); remainder mod g(x) gives checks.
         # Work with coefficient list where index = degree: data symbol i is
@@ -84,6 +94,8 @@ class ReedSolomon:
 
     def syndromes(self, received: Sequence[int]) -> List[int]:
         """The 2t syndromes of a received word (all zero iff consistent)."""
+        if self._kernel is not None and len(received) == self.n:
+            return self._kernel.syndromes(received)
         field = self.field
         # received[i] is the coefficient of x^(n-1-i).
         out = []

@@ -16,7 +16,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.ecc.hamming import DecodeResult, DecodeStatus, HammingSEC, HammingSECDED
 from repro.utils.bits import LINE_BITS, WORD_BITS, int_to_words, words_to_int
@@ -107,6 +107,18 @@ class WordSECDEDLine:
             worst = DecodeStatus.DETECTED_UE
         return LineDecodeResult(words_to_int(corrected_words), worst, tuple(statuses))
 
+    # -- batched API ---------------------------------------------------------
+
+    def encode_batch(self, lines: Iterable[int]) -> List[Tuple[int, int]]:
+        """Encode many lines; one ``(line, ecc)`` pair per input line."""
+        return [self.encode(line) for line in lines]
+
+    def decode_batch(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[LineDecodeResult]:
+        """Decode many ``(line, ecc)`` pairs."""
+        return [self.decode(line, ecc) for line, ecc in pairs]
+
     # -- ECC field packing --------------------------------------------------
     #
     # The Hamming codeword interleaves check bits positionally. To store
@@ -114,9 +126,12 @@ class WordSECDEDLine:
     # positions into a compact field and scatter them back before decoding.
 
     def _extract_ecc_field(self, codeword: int, word: int) -> int:
+        code = self._word_code._code
+        if code._kernel is not None:
+            field = code._kernel.gather_checks(codeword)
+            return field | (((codeword >> code.n) & 1) << code.r)
         field = 0
         bit = 0
-        code = self._word_code._code
         for pos in code._check_positions:
             field |= ((codeword >> (pos - 1)) & 1) << bit
             bit += 1
@@ -125,6 +140,12 @@ class WordSECDEDLine:
 
     def _insert_ecc_field(self, word: int, field: int) -> int:
         code = self._word_code._code
+        if code._kernel is not None:
+            codeword = code._kernel.scatter_data(word)
+            codeword |= code._kernel.scatter_checks(field & ((1 << code.r) - 1))
+            if (field >> code.r) & 1:
+                codeword |= 1 << code.n
+            return codeword
         codeword = 0
         for data_index, pos in enumerate(code._data_positions):
             if (word >> data_index) & 1:
@@ -170,15 +191,33 @@ class LineECC1:
         codeword = self._scatter(payload, checks)
         return self._code.decode(codeword)
 
+    # -- batched API ---------------------------------------------------------
+
+    def encode_batch(self, payloads: Iterable[int]) -> List[int]:
+        """ECC-1 check bits for many payloads."""
+        return [self.encode(payload) for payload in payloads]
+
+    def decode_batch(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[DecodeResult]:
+        """Correct many ``(payload, checks)`` pairs."""
+        return [self.correct(payload, checks) for payload, checks in pairs]
+
     # -- check-bit packing ---------------------------------------------------
 
     def _gather_checks(self, codeword: int) -> int:
+        kernel = self._code._kernel
+        if kernel is not None:
+            return kernel.gather_checks(codeword)
         field = 0
         for i, pos in enumerate(self._code._check_positions):
             field |= ((codeword >> (pos - 1)) & 1) << i
         return field
 
     def _scatter(self, payload: int, checks: int) -> int:
+        kernel = self._code._kernel
+        if kernel is not None:
+            return kernel.scatter_data(payload) | kernel.scatter_checks(checks)
         codeword = 0
         for data_index, pos in enumerate(self._code._data_positions):
             if (payload >> data_index) & 1:

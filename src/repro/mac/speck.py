@@ -14,7 +14,9 @@ Test vectors from the original SPECK paper are checked in the test suite.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
+
+from repro.ecc import kernels
 
 _MASK32 = 0xFFFFFFFF
 ROUNDS = 27
@@ -53,6 +55,13 @@ class Speck64:
         if len(key) != self.KEY_BYTES:
             raise ValueError("SPECK-64/128 requires a 16-byte key")
         self._round_keys = self._expand_key(key)
+        # Kernel mode is captured at construction (keeps instances usable
+        # from both sides of a forced_mode() switch in tests).
+        self._fast = kernels.use_fast()
+        self._packed_keys = (
+            kernels.pack_round_keys8(self._round_keys) if self._fast else None
+        )
+        self._batch_kernel = None
 
     @staticmethod
     def _expand_key(key: bytes) -> List[int]:
@@ -71,11 +80,27 @@ class Speck64:
 
     def encrypt_block(self, block: int) -> int:
         """Encrypt a 64-bit block (low 32 bits = word y, high = word x)."""
+        if self._fast:
+            return kernels.speck_encrypt_block(self._round_keys, block)
         y = block & _MASK32
         x = (block >> 32) & _MASK32
         for k in self._round_keys:
             x, y = _round(x, y, k)
         return (x << 32) | y
+
+    def encrypt_blocks8(self, blocks: Sequence[int]) -> List[int]:
+        """Encrypt eight 64-bit blocks (one whole-line MAC's worth)."""
+        if len(blocks) != 8:
+            raise ValueError("expected exactly 8 blocks")
+        if self._fast:
+            return kernels.speck_encrypt_lanes8(self._packed_keys, blocks)
+        return [self.encrypt_block(block) for block in blocks]
+
+    def encrypt_batch(self, blocks):
+        """Encrypt a numpy ``uint64`` array of blocks, elementwise."""
+        if self._batch_kernel is None:
+            self._batch_kernel = kernels.SpeckBatchKernel(self._round_keys)
+        return self._batch_kernel.encrypt(blocks)
 
     def decrypt_block(self, block: int) -> int:
         """Inverse of :meth:`encrypt_block`."""

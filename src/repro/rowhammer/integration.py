@@ -121,8 +121,15 @@ class VictimArray:
             organization=organization_name or type(self.controller).__name__
         )
         before = self.controller.stats.snapshot()
-        for row in sorted(self._written_rows):
-            for i in range(self.lines_per_row):
-                self.controller.read(self.line_address(row, i))
+        addresses = [
+            self.line_address(row, i)
+            for row in sorted(self._written_rows)
+            for i in range(self.lines_per_row)
+        ]
+        if hasattr(self.controller, "access_many"):
+            self.controller.access_many(addresses)
+        else:
+            for address in addresses:
+                self.controller.read(address)
         outcome.add_stats(self.controller.stats.delta(before))
         return outcome

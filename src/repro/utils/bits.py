@@ -92,7 +92,7 @@ def words_to_int(words: Sequence[int]) -> int:
 
 def popcount(value: int) -> int:
     """Number of set bits in ``value``."""
-    return bin(value).count("1")
+    return value.bit_count()
 
 
 def parity(value: int) -> int:
@@ -106,6 +106,11 @@ def extract_pin_symbols(line: int, n_pins: int = 64, n_beats: int = BEATS_PER_LI
     Pin ``j`` contributes one bit per beat; its symbol packs those
     ``n_beats`` bits with beat 0 in the LSB.
     """
+    # Imported lazily: repro.ecc depends on this module at import time.
+    from repro.ecc import kernels
+
+    if kernels.use_fast() and kernels.supports_pin_transpose(n_pins, n_beats):
+        return kernels.extract_pin_symbols_fast(line, n_pins, n_beats)
     symbols = []
     for pin in range(n_pins):
         symbol = 0
@@ -130,7 +135,11 @@ def insert_pin_symbol(
 
 def pin_symbols_to_int(symbols: Sequence[int], n_beats: int = BEATS_PER_LINE) -> int:
     """Reassemble a line integer from its per-pin symbols."""
+    from repro.ecc import kernels
+
     n_pins = len(symbols)
+    if kernels.use_fast() and kernels.supports_pin_transpose(n_pins, n_beats):
+        return kernels.pin_symbols_to_int_fast(symbols, n_beats)
     line = 0
     for pin, symbol in enumerate(symbols):
         for beat in range(n_beats):

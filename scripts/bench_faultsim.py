@@ -1,0 +1,145 @@
+"""Measure the vectorized Monte-Carlo engine against the reference loop.
+
+Runs the safeguard-secded reliability campaign (the Figure 6 workload) at
+two population sizes under both ``REPRO_FAULTSIM`` engines and with one
+and two workers, and reports modules/second plus wall-clock seconds. The
+full run writes ``BENCH_faultsim.json`` at the repository root so the
+numbers ship with the code; ``--quick`` runs reduced populations and
+skips the file (the CI smoke mode).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_faultsim.py [--quick]
+
+The engine is selected per measurement through ``MonteCarloConfig.engine``
+(the same knob ``--engine fast`` plumbs through the CLI), so the ambient
+``REPRO_FAULTSIM`` value does not affect the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.faultsim.evaluators import SafeGuardSECDEDEvaluator  # noqa: E402
+from repro.faultsim.geometry import X8_SECDED_16GB  # noqa: E402
+from repro.faultsim.montecarlo import MonteCarloConfig, simulate  # noqa: E402
+from repro.faultsim.parallel import simulate_parallel  # noqa: E402
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+OUT_PATH = os.path.join(REPO_ROOT, "BENCH_faultsim.json")
+
+SEED = 42
+POPULATIONS = (200_000, 2_000_000)
+QUICK_POPULATIONS = (20_000,)
+WORKER_COUNTS = (1, 2)
+
+
+def _commit_hash() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _run_once(n_modules: int, engine: str, workers: int) -> dict:
+    """One campaign; returns wall-clock seconds, throughput, and result."""
+    config = MonteCarloConfig(n_modules=n_modules, seed=SEED, engine=engine)
+    evaluator = SafeGuardSECDEDEvaluator(X8_SECDED_16GB)
+    start = time.perf_counter()
+    if workers == 1:
+        result = simulate(evaluator, X8_SECDED_16GB, config)
+    else:
+        result = simulate_parallel(
+            evaluator, X8_SECDED_16GB, config, workers=workers
+        )
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": round(seconds, 3),
+        "modules_per_s": round(n_modules / seconds, 1),
+        "n_failed": result.n_failed,
+        "final_fail_probability": result.final_fail_probability,
+    }
+
+
+def run_bench(populations) -> dict:
+    results = {}
+    for n_modules in populations:
+        for workers in WORKER_COUNTS:
+            per_engine = {}
+            for engine in ("fast", "reference"):
+                per_engine[engine] = _run_once(n_modules, engine, workers)
+            speedup = (
+                per_engine["fast"]["modules_per_s"]
+                / per_engine["reference"]["modules_per_s"]
+            )
+            key = f"safeguard-secded_{n_modules}_w{workers}"
+            results[key] = {
+                "scheme": "safeguard-secded",
+                "n_modules": n_modules,
+                "workers": workers,
+                "fast": per_engine["fast"],
+                "reference": per_engine["reference"],
+                "speedup": round(speedup, 2),
+            }
+            print(
+                f"  {n_modules:>9,} modules  workers={workers}  "
+                f"fast {per_engine['fast']['modules_per_s']:>12,.0f} mod/s   "
+                f"reference {per_engine['reference']['modules_per_s']:>10,.0f}"
+                f" mod/s   {speedup:5.1f}x"
+            )
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced population; do not write BENCH_faultsim.json",
+    )
+    args = parser.parse_args()
+
+    populations = QUICK_POPULATIONS if args.quick else POPULATIONS
+    print(
+        "Monte-Carlo engine benchmark (safeguard-secded, "
+        f"populations={list(populations)}, workers={list(WORKER_COUNTS)}):"
+    )
+    results = run_bench(populations)
+
+    report = {
+        "host": {"cpu_count": os.cpu_count(), "commit": _commit_hash()},
+        "config": {
+            "seed": SEED,
+            "scheme": "safeguard-secded",
+            "geometry": "X8_SECDED_16GB",
+            "populations": list(populations),
+            "workers": list(WORKER_COUNTS),
+        },
+        "results": results,
+    }
+    if args.quick:
+        print("--quick: skipping BENCH_faultsim.json")
+        return 0
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig6                     # one experiment
     python -m repro fig6 --workers 8         # parallel Monte-Carlo (same output)
     python -m repro fig6 --scheme secded     # restrict to one organization
+    python -m repro fig6 --engine fast       # vectorized Monte-Carlo engine
     python -m repro all                      # everything (interactive scale)
 
 ``--workers N`` (or the ``REPRO_MC_WORKERS`` environment variable) fans
@@ -14,6 +15,9 @@ the Monte-Carlo reliability experiments across N processes; results are
 bit-identical to the sequential run. ``--scheme NAME`` (a name from
 ``python -m repro schemes``) restricts scheme-aware experiments
 (fig1c/fig6/fig7/fig10/fig11) to a single memory organization.
+``--engine fast|reference`` (or ``REPRO_FAULTSIM``) selects the
+Monte-Carlo engine for fig6/fig10 — the vectorized fast path is
+statistically equivalent to the reference loop, not bit-identical.
 """
 
 import sys
@@ -63,6 +67,11 @@ def main(argv=None) -> int:
     try:
         workers, argv = _parse_workers(argv)
         scheme, argv = _parse_option(argv, "--scheme", str)
+        engine, argv = _parse_option(argv, "--engine", str)
+        if engine is not None:
+            from repro.faultsim import fastpath
+
+            engine = fastpath.resolve_engine(engine)  # validates the name
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
@@ -83,7 +92,7 @@ def main(argv=None) -> int:
         run_all(workers=workers)
         return 0
     try:
-        run_experiment(name, workers=workers, scheme=scheme)
+        run_experiment(name, workers=workers, scheme=scheme, engine=engine)
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else error
         print(message, file=sys.stderr)

@@ -28,13 +28,22 @@ def run(
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     schemes: Tuple[str, ...] = SCHEMES,
+    engine: Optional[str] = None,
 ) -> Dict[float, List[ReliabilityResult]]:
-    """``workers``/``REPRO_MC_WORKERS`` parallelize without changing output."""
+    """``workers``/``REPRO_MC_WORKERS`` parallelize without changing output.
+
+    ``engine`` picks the Monte-Carlo engine (``"fast"``/``"reference"``;
+    default: ``REPRO_FAULTSIM`` or reference).
+    """
     geometry = X4_CHIPKILL_16GB
     out: Dict[float, List[ReliabilityResult]] = {}
     for multiplier in fit_multipliers:
         config = MonteCarloConfig(
-            n_modules=n_modules, seed=seed, fit_multiplier=multiplier, workers=workers
+            n_modules=n_modules,
+            seed=seed,
+            fit_multiplier=multiplier,
+            workers=workers,
+            engine=engine,
         )
         out[multiplier] = [
             simulate_parallel(

@@ -29,9 +29,17 @@ def run(
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     schemes: "tuple[str, ...]" = SCHEMES,
+    engine: Optional[str] = None,
 ) -> List[ReliabilityResult]:
-    """``workers``/``REPRO_MC_WORKERS`` parallelize without changing output."""
-    config = MonteCarloConfig(n_modules=n_modules, seed=seed, workers=workers)
+    """``workers``/``REPRO_MC_WORKERS`` parallelize without changing output.
+
+    ``engine`` picks the Monte-Carlo engine (``"fast"``/``"reference"``;
+    default: ``REPRO_FAULTSIM`` or reference) — statistically equivalent
+    curves, not bit-identical ones.
+    """
+    config = MonteCarloConfig(
+        n_modules=n_modules, seed=seed, workers=workers, engine=engine
+    )
     geometry = X8_SECDED_16GB
     evaluators = [evaluator_for(name, geometry) for name in schemes]
     return [

@@ -71,22 +71,38 @@ def _fig1c(workers: Optional[int] = None, scheme: Optional[str] = None) -> None:
     fig1c_detection.report(fig1c_detection.run(schemes=schemes))
 
 
-def _fig6(workers: Optional[int] = None, scheme: Optional[str] = None) -> None:
+def _fig6(
+    workers: Optional[int] = None,
+    scheme: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> None:
     progress = _print_progress if workers and workers > 1 else None
     schemes = (scheme,) if scheme else fig6_reliability_secded.SCHEMES
     fig6_reliability_secded.report(
         fig6_reliability_secded.run(
-            n_modules=100_000, workers=workers, progress=progress, schemes=schemes
+            n_modules=100_000,
+            workers=workers,
+            progress=progress,
+            schemes=schemes,
+            engine=engine,
         )
     )
 
 
-def _fig10(workers: Optional[int] = None, scheme: Optional[str] = None) -> None:
+def _fig10(
+    workers: Optional[int] = None,
+    scheme: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> None:
     progress = _print_progress if workers and workers > 1 else None
     schemes = (scheme,) if scheme else fig10_reliability_chipkill.SCHEMES
     fig10_reliability_chipkill.report(
         fig10_reliability_chipkill.run(
-            n_modules=50_000, workers=workers, progress=progress, schemes=schemes
+            n_modules=50_000,
+            workers=workers,
+            progress=progress,
+            schemes=schemes,
+            engine=engine,
         )
     )
 
@@ -167,18 +183,26 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
 #: more organizations from the scheme registry).
 SCHEME_AWARE = frozenset({"fig1c", "fig6", "fig7", "fig10", "fig11"})
 
+#: Experiments that accept ``--engine fast|reference`` (the Monte-Carlo
+#: reliability experiments; see :mod:`repro.faultsim.fastpath`).
+ENGINE_AWARE = frozenset({"fig6", "fig10"})
+
 
 def experiment_names() -> List[str]:
     return sorted(EXPERIMENTS)
 
 
 def run_experiment(
-    name: str, workers: Optional[int] = None, scheme: Optional[str] = None
+    name: str,
+    workers: Optional[int] = None,
+    scheme: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> None:
     """Run one experiment by name; raises KeyError for unknown names.
 
     ``scheme`` (a registry name) restricts scheme-aware experiments to a
-    single organization; other experiments reject it.
+    single organization; ``engine`` selects the Monte-Carlo engine for
+    the reliability experiments; other experiments reject them.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -186,6 +210,7 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(experiment_names())}"
         ) from None
+    kwargs = {"workers": workers}
     if scheme is not None:
         if name not in SCHEME_AWARE:
             raise ValueError(
@@ -193,9 +218,17 @@ def run_experiment(
                 f"scheme-aware: {', '.join(sorted(SCHEME_AWARE))}"
             )
         registry.scheme(scheme)  # unknown scheme names fail with the full list
-        runner(workers=workers, scheme=scheme)
-        return
-    runner(workers=workers)
+        kwargs["scheme"] = scheme
+    if engine is not None:
+        if name not in ENGINE_AWARE:
+            raise ValueError(
+                f"experiment {name!r} does not take --engine; "
+                f"engine-aware: {', '.join(sorted(ENGINE_AWARE))}"
+            )
+        from repro.faultsim import fastpath
+
+        kwargs["engine"] = fastpath.resolve_engine(engine)
+    runner(**kwargs)
 
 
 def run_all(workers: Optional[int] = None) -> None:

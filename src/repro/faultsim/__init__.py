@@ -20,6 +20,10 @@ first detected-uncorrectable (DUE) or silently-escaping (SDC) event.
 - :mod:`repro.faultsim.parallel` — the sharded multi-process engine
   (checkpoint/resume, progress reporting) producing results
   bit-identical to the sequential driver.
+- :mod:`repro.faultsim.fastpath` — the vectorized Monte-Carlo engine
+  behind the ``REPRO_FAULTSIM=fast|reference`` switch: single-fault
+  modules classified by numpy table lookups over derived outcome
+  tables, multi-fault modules bit-identical to the reference loop.
 """
 
 from repro.faultsim.fit import FaultMode, FAULT_MODES, total_fit, scale_fit
@@ -45,6 +49,13 @@ from repro.faultsim.parallel import (
     plan_shards,
     resolve_workers,
     simulate_parallel,
+)
+from repro.faultsim.fastpath import (
+    engine_mode,
+    forced_mode,
+    resolve_engine,
+    set_engine,
+    simulate_range_fast,
 )
 
 __all__ = [
@@ -73,4 +84,9 @@ __all__ = [
     "resolve_workers",
     "ProgressStats",
     "Shard",
+    "engine_mode",
+    "forced_mode",
+    "resolve_engine",
+    "set_engine",
+    "simulate_range_fast",
 ]

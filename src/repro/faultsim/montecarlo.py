@@ -25,6 +25,12 @@ A shard covering global module indices ``[lo, hi)`` therefore reproduces
 exactly the modules the sequential loop would have simulated, and merging
 shard results (:meth:`ReliabilityResult.merge`) reconstructs the
 sequential output bit-for-bit.
+
+The scalar loop here is the *reference* engine (and the default); the
+vectorized fast engine in :mod:`repro.faultsim.fastpath` — selected per
+config or via ``REPRO_FAULTSIM=fast`` — classifies single-fault modules
+with derived outcome tables and falls back to this loop for multi-fault
+modules.
 """
 
 from __future__ import annotations
@@ -71,16 +77,33 @@ class MonteCarloConfig:
     #: checkpointing. A re-run with the same config resumes, skipping
     #: shards whose checkpoints verify.
     checkpoint_dir: Optional[str] = None
+    #: Monte-Carlo engine: ``"reference"`` (the scalar loop, bit-identical
+    #: to PR 1) or ``"fast"`` (the vectorized single-fault path of
+    #: :mod:`repro.faultsim.fastpath`). None defers to
+    #: ``fastpath.set_engine`` / the ``REPRO_FAULTSIM`` environment
+    #: variable, and finally to ``"reference"``. Unlike workers/shards
+    #: this *does* change the science output (statistically equivalent,
+    #: not bit-identical), so it is part of the fingerprint.
+    engine: Optional[str] = None
+
+    def resolved_engine(self) -> str:
+        """The engine this config runs under (config > env > reference)."""
+        from repro.faultsim import fastpath
+
+        return fastpath.resolve_engine(self.engine)
 
     def science_fingerprint(self, scheme: str, geometry: ModuleGeometry) -> dict:
         """The output-determining knobs, as a JSON-friendly dict.
 
         Used to validate checkpoints: two runs with equal fingerprints
-        produce identical results no matter how they are sharded.
+        produce identical results no matter how they are sharded. The
+        resolved engine is included so a checkpoint written by one engine
+        can never be resumed by the other.
         """
         return {
             "scheme": scheme,
             "geometry": geometry.name,
+            "engine": self.resolved_engine(),
             "n_modules": self.n_modules,
             "years": self.years,
             "seed": self.seed,
@@ -158,12 +181,31 @@ class ReliabilityResult:
         return high_a < low_b or high_b < low_a
 
     def probability_at_years(self, years: float) -> float:
-        """Interpolated failure probability at a point in time."""
-        hours = years * units.HOURS_PER_YEAR
-        index = bisect.bisect_right(self.grid_hours, hours) - 1
-        if index < 0:
+        """Interpolated failure probability at a point in time.
+
+        Linear interpolation between the evaluation-grid points, with the
+        implicit origin (0, 0) before the first point; clamped to the
+        final probability past the end of the grid and to 0 before t=0.
+        """
+        if not self.grid_hours:
             return 0.0
-        return self.fail_probability[min(index, len(self.fail_probability) - 1)]
+        hours = years * units.HOURS_PER_YEAR
+        if hours <= 0.0:
+            return 0.0
+        if hours >= self.grid_hours[-1]:
+            return self.fail_probability[-1]
+        index = bisect.bisect_right(self.grid_hours, hours)
+        if index == 0:
+            t_left, p_left = 0.0, 0.0
+        else:
+            t_left = self.grid_hours[index - 1]
+            p_left = self.fail_probability[index - 1]
+            if hours == t_left:  # exactly on a grid point: its value
+                return p_left
+        t_right = self.grid_hours[index]
+        p_right = self.fail_probability[index]
+        fraction = (hours - t_left) / (t_right - t_left)
+        return p_left + fraction * (p_right - p_left)
 
     @classmethod
     def merge(cls, parts: Sequence["ReliabilityResult"]) -> "ReliabilityResult":
@@ -254,6 +296,58 @@ def _mode_categories(
     return categories, cumulative
 
 
+def _simulate_module(
+    evaluator,
+    geometry: ModuleGeometry,
+    config: MonteCarloConfig,
+    module_index: int,
+    n_faults: int,
+    categories: List[Tuple[FaultMode, bool]],
+    cumulative: np.ndarray,
+    total_hours: float,
+) -> Optional[FailureRecord]:
+    """One busy module's scalar fault loop; its first failure or None.
+
+    The reference engine's inner body, shared verbatim by the fast
+    engine's multi-fault fallback so the two stay bit-identical there.
+    The RNG consumption order (times, then per-arrival mode/chip/
+    placement) is part of the determinism contract — do not reorder.
+    """
+    rng = random.Random(derive_seed(config.seed, 0x51A7, module_index))
+    times = sorted(rng.uniform(0.0, total_hours) for _ in range(n_faults))
+    active: List[FaultInstance] = []
+    scrub = config.scrub_interval_hours
+    # Earliest arrival among active *transient* faults (arrivals append in
+    # time order, so the front transient is the oldest): the scrub filter
+    # is a no-op until that one expires, so rebuild the list only then
+    # instead of re-filtering on every arrival.
+    oldest_transient: Optional[float] = None
+    for time_hours in times:
+        mode, transient = categories[bisect.bisect_left(cumulative, rng.random())]
+        chip = rng.randrange(geometry.chips_per_rank)
+        fault = place_fault(mode.scope, transient, time_hours, chip, geometry, rng)
+        if (
+            scrub is not None
+            and oldest_transient is not None
+            and time_hours - oldest_transient >= scrub
+        ):
+            active = [
+                f
+                for f in active
+                if not f.transient or time_hours - f.time_hours < scrub
+            ]
+            oldest_transient = min(
+                (f.time_hours for f in active if f.transient), default=None
+            )
+        outcome = evaluator.classify(active, fault)
+        if outcome.is_failure:
+            return FailureRecord(time_hours, outcome, fault.scope.value)
+        active.append(fault)
+        if transient and oldest_transient is None:
+            oldest_transient = time_hours
+    return None
+
+
 def simulate_range(
     evaluator,
     geometry: ModuleGeometry,
@@ -281,33 +375,18 @@ def simulate_range(
     records: List[FailureRecord] = []
     busy_modules = np.nonzero(fault_counts)[0]
     for local_index in busy_modules:
-        module_index = lo + int(local_index)
-        rng = random.Random(derive_seed(config.seed, 0x51A7, module_index))
-        n_faults = int(fault_counts[local_index])
-        times = sorted(rng.uniform(0.0, total_hours) for _ in range(n_faults))
-        active: List[FaultInstance] = []
-        for time_hours in times:
-            mode, transient = categories[
-                bisect.bisect_left(cumulative, rng.random())
-            ]
-            chip = rng.randrange(geometry.chips_per_rank)
-            fault = place_fault(
-                mode.scope, transient, time_hours, chip, geometry, rng
-            )
-            if config.scrub_interval_hours is not None:
-                active = [
-                    f
-                    for f in active
-                    if not f.transient
-                    or time_hours - f.time_hours < config.scrub_interval_hours
-                ]
-            outcome = evaluator.classify(active, fault)
-            if outcome.is_failure:
-                records.append(
-                    FailureRecord(time_hours, outcome, fault.scope.value)
-                )
-                break
-            active.append(fault)
+        record = _simulate_module(
+            evaluator,
+            geometry,
+            config,
+            lo + int(local_index),
+            int(fault_counts[local_index]),
+            categories,
+            cumulative,
+            total_hours,
+        )
+        if record is not None:
+            records.append(record)
     return records
 
 
@@ -364,8 +443,21 @@ def simulate(
     geometry: ModuleGeometry,
     config: Optional[MonteCarloConfig] = None,
 ) -> ReliabilityResult:
-    """Run the Monte-Carlo reliability simulation for one scheme."""
+    """Run the Monte-Carlo reliability simulation for one scheme.
+
+    Dispatches to the scalar reference loop or the vectorized fast
+    engine according to ``config.engine`` / ``REPRO_FAULTSIM`` (see
+    :mod:`repro.faultsim.fastpath`). Both engines draw the module
+    population from the same batched Poisson stream.
+    """
+    from repro.faultsim import fastpath
+
     config = config or MonteCarloConfig()
     fault_counts = draw_fault_counts(config, geometry)
-    records = simulate_range(evaluator, geometry, config, fault_counts)
+    if config.resolved_engine() == "fast":
+        records = fastpath.simulate_range_fast(
+            evaluator, geometry, config, fault_counts
+        )
+    else:
+        records = simulate_range(evaluator, geometry, config, fault_counts)
     return build_result(scheme_name(evaluator), config, records)

@@ -20,6 +20,11 @@ Robustness and observability:
 
 Worker-count resolution order: explicit argument > ``config.workers`` >
 ``REPRO_MC_WORKERS`` environment variable > 1 (in-process, no pool).
+
+The engine (scalar reference loop vs. the vectorized fast path of
+:mod:`repro.faultsim.fastpath`) is resolved once per run and handed to
+every shard; both engines are shard-invariant, and the checkpoint
+fingerprint records the engine so a resume never mixes modes.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faultsim import fastpath
 from repro.faultsim.geometry import ModuleGeometry
 from repro.faultsim.montecarlo import (
     FailureRecord,
@@ -202,9 +208,20 @@ def _run_shard(
     config: MonteCarloConfig,
     shard: Shard,
     fault_counts: np.ndarray,
+    engine: str = "reference",
 ) -> Tuple[int, List[FailureRecord]]:
-    """Worker entry point (module-level so it pickles)."""
-    records = simulate_range(
+    """Worker entry point (module-level so it pickles).
+
+    ``engine`` is resolved once by the coordinator and passed explicitly
+    so worker processes never re-consult mutable process state
+    (``REPRO_FAULTSIM`` / ``set_engine``) — every shard of one run uses
+    one engine. Both engines are shard-invariant, so the merged result
+    equals the corresponding sequential run.
+    """
+    simulate_fn = (
+        fastpath.simulate_range_fast if engine == "fast" else simulate_range
+    )
+    records = simulate_fn(
         evaluator, geometry, config, fault_counts, shard.lo, shard.hi
     )
     return shard.index, records
@@ -239,6 +256,7 @@ def simulate_parallel(
         checkpoint_dir = config.checkpoint_dir
 
     scheme = scheme_name(evaluator)
+    engine = config.resolved_engine()
     fingerprint = config.science_fingerprint(scheme, geometry)
     plan = plan_shards(config.n_modules, shards)
     fault_counts = draw_fault_counts(config, geometry)
@@ -286,7 +304,12 @@ def simulate_parallel(
     if workers == 1:
         for shard in pending:
             _, records = _run_shard(
-                evaluator, geometry, config, shard, fault_counts[shard.lo : shard.hi]
+                evaluator,
+                geometry,
+                config,
+                shard,
+                fault_counts[shard.lo : shard.hi],
+                engine,
             )
             finish(shard, records)
     elif pending:
@@ -299,6 +322,7 @@ def simulate_parallel(
                     config,
                     shard,
                     fault_counts[shard.lo : shard.hi],
+                    engine,
                 ): shard
                 for shard in pending
             }

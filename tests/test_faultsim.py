@@ -276,3 +276,131 @@ class TestMonteCarlo:
         result = simulate(SECDEDEvaluator(X8_SECDED_16GB), X8_SECDED_16GB, cfg)
         assert result.probability_at_years(0.01) <= result.probability_at_years(7.0)
         assert result.probability_at_years(7.0) == result.final_fail_probability
+
+
+class TestProbabilityInterpolation:
+    """Pin probability_at_years to linear interpolation on the grid."""
+
+    def _result(self):
+        from repro.faultsim.montecarlo import ReliabilityResult
+        from repro.utils import units
+
+        year = units.HOURS_PER_YEAR
+        return ReliabilityResult(
+            scheme="pinned",
+            n_modules=100,
+            years=4.0,
+            grid_hours=[1.0 * year, 2.0 * year, 3.0 * year, 4.0 * year],
+            fail_probability=[0.10, 0.20, 0.40, 0.40],
+            n_failed=40,
+            n_due=40,
+            n_sdc=0,
+            failures_by_scope={},
+        )
+
+    def test_exact_grid_points(self):
+        result = self._result()
+        for years, expected in ((1.0, 0.10), (2.0, 0.20), (3.0, 0.40), (4.0, 0.40)):
+            assert result.probability_at_years(years) == pytest.approx(expected)
+
+    def test_midpoints_interpolate(self):
+        result = self._result()
+        assert result.probability_at_years(1.5) == pytest.approx(0.15)
+        assert result.probability_at_years(2.5) == pytest.approx(0.30)
+        assert result.probability_at_years(2.25) == pytest.approx(0.25)
+
+    def test_origin_segment(self):
+        """Before the first grid point, interpolate from the implicit (0, 0)."""
+        result = self._result()
+        assert result.probability_at_years(0.5) == pytest.approx(0.05)
+        assert result.probability_at_years(0.0) == 0.0
+        assert result.probability_at_years(-1.0) == 0.0
+
+    def test_clamps_past_grid_end(self):
+        result = self._result()
+        assert result.probability_at_years(10.0) == pytest.approx(0.40)
+
+    def test_empty_grid(self):
+        from dataclasses import replace
+
+        result = replace(self._result(), grid_hours=[], fail_probability=[])
+        assert result.probability_at_years(3.0) == 0.0
+
+    def test_monotone_between_samples(self):
+        """Interpolation never leaves the bracketing grid values."""
+        result = self._result()
+        probe = [0.1 * k for k in range(1, 46)]
+        values = [result.probability_at_years(y) for y in probe]
+        assert values == sorted(values)
+        assert all(0.0 <= v <= 0.40 for v in values)
+
+
+class TestScrubRebuildEquivalence:
+    """The lazy scrub-list rebuild matches a filter-on-every-arrival oracle.
+
+    simulate_range only re-filters the active list once the oldest
+    transient fault has expired; this oracle re-filters unconditionally,
+    the behaviour the optimisation replaced.
+    """
+
+    def _naive_simulate_range(self, evaluator, geometry, config, fault_counts):
+        import bisect
+
+        import numpy as np
+
+        from repro.faultsim.montecarlo import FailureRecord, _mode_categories
+        from repro.utils import units
+        from repro.utils.rng import derive_seed
+
+        total_hours = config.years * units.HOURS_PER_YEAR
+        categories, cumulative = _mode_categories(config)
+        records = []
+        for module_index in np.nonzero(fault_counts)[0]:
+            rng = random.Random(derive_seed(config.seed, 0x51A7, int(module_index)))
+            times = sorted(
+                rng.uniform(0.0, total_hours)
+                for _ in range(int(fault_counts[module_index]))
+            )
+            active = []
+            scrub = config.scrub_interval_hours
+            for time_hours in times:
+                mode, transient = categories[
+                    bisect.bisect_left(cumulative, rng.random())
+                ]
+                chip = rng.randrange(geometry.chips_per_rank)
+                fault = place_fault(
+                    mode.scope, transient, time_hours, chip, geometry, rng
+                )
+                if scrub is not None:
+                    active = [
+                        f
+                        for f in active
+                        if not f.transient or time_hours - f.time_hours < scrub
+                    ]
+                outcome = evaluator.classify(active, fault)
+                if outcome.is_failure:
+                    records.append(
+                        FailureRecord(time_hours, outcome, fault.scope.value)
+                    )
+                    break
+                active.append(fault)
+        return records
+
+    @pytest.mark.parametrize("scrub", [None, 12.0, 500.0, 100_000.0])
+    def test_matches_naive_filter(self, scrub):
+        from repro.faultsim.montecarlo import draw_fault_counts, simulate_range
+
+        config = MonteCarloConfig(
+            n_modules=4_000,
+            seed=13,
+            fit_multiplier=40.0,  # many multi-fault modules so scrub matters
+            scrub_interval_hours=scrub,
+        )
+        evaluator = SECDEDEvaluator(X8_SECDED_16GB)
+        counts = draw_fault_counts(config, X8_SECDED_16GB)
+        assert int((counts >= 2).sum()) > 100
+        optimised = simulate_range(evaluator, X8_SECDED_16GB, config, counts)
+        naive = self._naive_simulate_range(
+            evaluator, X8_SECDED_16GB, config, counts
+        )
+        assert [r.to_json() for r in optimised] == [r.to_json() for r in naive]

@@ -1,0 +1,159 @@
+"""Measure the performance-campaign engine: sequential vs. N workers.
+
+Runs the Figure 7 grid (eight workloads, conventional-ECC baseline plus
+SafeGuard) through :func:`repro.perf.campaign.run_comparison_parallel`
+sequentially and with each benchmarked worker count, verifies the
+parallel results are bit-identical to the sequential ones, and reports
+cells/second plus wall-clock seconds. The full run writes
+``BENCH_perf.json`` at the repository root so the numbers ship with the
+code; ``--quick`` runs a reduced grid at a smaller scale and skips the
+file (the CI smoke mode).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf_campaign.py [--quick]
+
+Caching is disabled for every measurement (each run simulates its full
+grid); the cache is a resume mechanism, not part of the engine's
+throughput story.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.perf.campaign import run_comparison_parallel  # noqa: E402
+from repro.perf.model import PerfConfig, run_comparison  # noqa: E402
+from repro.perf.organizations import organization_for  # noqa: E402
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+OUT_PATH = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+#: The Figure 7 grid as the CLI runs it (see experiments.runner).
+WORKLOADS = ["perlbench", "gcc", "mcf", "omnetpp", "leela", "bwaves", "lbm", "roms"]
+CONFIG = PerfConfig(instructions_per_core=150_000, warmup_instructions=40_000)
+
+QUICK_WORKLOADS = ["gcc", "mcf"]
+QUICK_CONFIG = PerfConfig(
+    n_cores=2, instructions_per_core=20_000, warmup_instructions=5_000
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _commit_hash() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _identical(a, b) -> bool:
+    return all(
+        left.workload == right.workload
+        and left.baseline == right.baseline
+        and left.results == right.results
+        for left, right in zip(a, b)
+    ) and len(a) == len(b)
+
+
+def run_bench(workloads, config) -> dict:
+    organizations = [organization_for("safeguard-secded", 8)]
+    n_cells = len(workloads) * (len(organizations) + 1)
+
+    start = time.perf_counter()
+    sequential = run_comparison(organizations, workloads=workloads, config=config)
+    seq_seconds = time.perf_counter() - start
+    results = {
+        "sequential": {
+            "seconds": round(seq_seconds, 3),
+            "cells_per_s": round(n_cells / seq_seconds, 3),
+        }
+    }
+    print(
+        f"  sequential        {seq_seconds:7.2f}s  "
+        f"{n_cells / seq_seconds:6.3f} cells/s"
+    )
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        parallel = run_comparison_parallel(
+            organizations, workloads=workloads, config=config, workers=workers
+        )
+        seconds = time.perf_counter() - start
+        if not _identical(sequential, parallel):
+            raise AssertionError(
+                f"workers={workers} produced different results than sequential"
+            )
+        speedup = seq_seconds / seconds
+        results[f"workers_{workers}"] = {
+            "workers": workers,
+            "seconds": round(seconds, 3),
+            "cells_per_s": round(n_cells / seconds, 3),
+            "speedup_vs_sequential": round(speedup, 2),
+            "identical_to_sequential": True,
+        }
+        print(
+            f"  workers={workers}         {seconds:7.2f}s  "
+            f"{n_cells / seconds:6.3f} cells/s  {speedup:5.2f}x"
+        )
+    results["n_cells"] = n_cells
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced grid and scale; do not write BENCH_perf.json",
+    )
+    args = parser.parse_args()
+
+    workloads = QUICK_WORKLOADS if args.quick else WORKLOADS
+    config = QUICK_CONFIG if args.quick else CONFIG
+    print(
+        "Performance-campaign benchmark (Figure 7 grid, "
+        f"{len(workloads)} workloads, {config.instructions_per_core:,} "
+        f"instructions/core, workers={list(WORKER_COUNTS)}):"
+    )
+    results = run_bench(workloads, config)
+
+    report = {
+        "host": {"cpu_count": os.cpu_count(), "commit": _commit_hash()},
+        "config": {
+            "workloads": list(workloads),
+            "n_cores": config.n_cores,
+            "instructions_per_core": config.instructions_per_core,
+            "warmup_instructions": config.warmup_instructions,
+            "seed": config.seed,
+            "scheme": "safeguard-secded",
+            "workers": list(WORKER_COUNTS),
+        },
+        "results": results,
+    }
+    if args.quick:
+        print("--quick: skipping BENCH_perf.json")
+        return 0
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

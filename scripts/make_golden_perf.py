@@ -1,0 +1,87 @@
+"""Regenerate the golden performance corpus for the cycle-level model.
+
+The corpus (``tests/data/golden_perf.json``) pins the bit-exact
+:class:`~repro.cpu.system.SystemResult` of a small grid of
+``(workload, organization, seed)`` cells at a fixed simulation scale.
+``tests/test_perf_campaign.py`` replays every cell and asserts identical
+results — so a refactor of the system model (core window, cache
+hierarchy, DRAM controller, trace generation) either reproduces the
+recorded cycle counts exactly or consciously regenerates the corpus and
+bumps ``repro.perf.campaign.MODEL_VERSION`` in the same change.
+
+Regenerate only when the model's behaviour intentionally changes::
+
+    PYTHONPATH=src python scripts/make_golden_perf.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.perf.campaign import MODEL_VERSION  # noqa: E402
+from repro.perf.model import PerfConfig, run_workload  # noqa: E402
+from repro.perf.organizations import (  # noqa: E402
+    BASELINE_ECC,
+    safeguard,
+    sgx_style,
+    synergy_style,
+)
+from repro.cpu.workloads import profile  # noqa: E402
+
+OUT_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "data", "golden_perf.json"
+)
+
+#: Small but behaviour-covering grid: a pointer-chaser (mcf), a mixed
+#: workload (gcc) and a write-heavy streamer (bwaves, which exercises the
+#: posted-write drain path), under all four organization shapes.
+WORKLOADS = ("gcc", "mcf", "bwaves")
+ORGANIZATIONS = (BASELINE_ECC, safeguard(8), sgx_style(8), synergy_style(8))
+SEEDS = (0, 1)
+
+#: Replay scale: big enough that every mechanism fires (prefetch trains,
+#: LLC churn, drain episodes), small enough for CI.
+CONFIG = PerfConfig(n_cores=2, instructions_per_core=20_000, warmup_instructions=4_000)
+
+
+def main() -> None:
+    cells = []
+    for workload in WORKLOADS:
+        for organization in ORGANIZATIONS:
+            for seed in SEEDS:
+                config = PerfConfig(
+                    n_cores=CONFIG.n_cores,
+                    instructions_per_core=CONFIG.instructions_per_core,
+                    warmup_instructions=CONFIG.warmup_instructions,
+                    seed=seed,
+                )
+                result = run_workload(profile(workload), organization, config)
+                cells.append(
+                    {
+                        "workload": workload,
+                        "organization": dataclasses.asdict(organization),
+                        "seed": seed,
+                        "result": result.to_json(),
+                    }
+                )
+    payload = {
+        "model_version": MODEL_VERSION,
+        "config": {
+            "n_cores": CONFIG.n_cores,
+            "instructions_per_core": CONFIG.instructions_per_core,
+            "warmup_instructions": CONFIG.warmup_instructions,
+        },
+        "cells": cells,
+    }
+    with open(OUT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    print(f"wrote {len(cells)} cells to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,16 +8,22 @@ Usage::
     python -m repro fig6 --workers 8         # parallel Monte-Carlo (same output)
     python -m repro fig6 --scheme secded     # restrict to one organization
     python -m repro fig6 --engine fast       # vectorized Monte-Carlo engine
+    python -m repro fig7 --workers 8         # parallel perf campaign (same output)
+    python -m repro fig7 --cache-dir .cells  # resumable per-cell result cache
     python -m repro all                      # everything (interactive scale)
 
-``--workers N`` (or the ``REPRO_MC_WORKERS`` environment variable) fans
-the Monte-Carlo reliability experiments across N processes; results are
-bit-identical to the sequential run. ``--scheme NAME`` (a name from
-``python -m repro schemes``) restricts scheme-aware experiments
-(fig1c/fig6/fig7/fig10/fig11) to a single memory organization.
-``--engine fast|reference`` (or ``REPRO_FAULTSIM``) selects the
-Monte-Carlo engine for fig6/fig10 — the vectorized fast path is
-statistically equivalent to the reference loop, not bit-identical.
+``--workers N`` fans the Monte-Carlo reliability experiments
+(``REPRO_MC_WORKERS`` environment fallback) and the cycle-level
+performance campaigns (``REPRO_PERF_WORKERS`` fallback) across N
+processes; results are bit-identical to the sequential run in both
+engines. ``--scheme NAME`` (a name from ``python -m repro schemes``)
+restricts scheme-aware experiments (fig1c/fig6/fig7/fig10/fig11) to a
+single memory organization. ``--engine fast|reference`` (or
+``REPRO_FAULTSIM``) selects the Monte-Carlo engine for fig6/fig10 — the
+vectorized fast path is statistically equivalent to the reference loop,
+not bit-identical. ``--cache-dir PATH`` persists one verified JSON
+result per performance-campaign cell (fig7/fig11/fig12/fig13): a killed
+or re-scoped campaign recomputes only the cells it is missing.
 """
 
 import sys
@@ -68,6 +74,7 @@ def main(argv=None) -> int:
         workers, argv = _parse_workers(argv)
         scheme, argv = _parse_option(argv, "--scheme", str)
         engine, argv = _parse_option(argv, "--engine", str)
+        cache_dir, argv = _parse_option(argv, "--cache-dir", str)
         if engine is not None:
             from repro.faultsim import fastpath
 
@@ -92,7 +99,13 @@ def main(argv=None) -> int:
         run_all(workers=workers)
         return 0
     try:
-        run_experiment(name, workers=workers, scheme=scheme, engine=engine)
+        run_experiment(
+            name,
+            workers=workers,
+            scheme=scheme,
+            engine=engine,
+            cache_dir=cache_dir,
+        )
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else error
         print(message, file=sys.stderr)

@@ -48,10 +48,14 @@ class Cache:
         return line % self.n_sets
 
     # -- operations --------------------------------------------------------------
+    #
+    # These four methods are the simulator's innermost loop (millions of
+    # calls per campaign cell); the set index is computed inline rather
+    # than via _set_index to avoid a method call per probe.
 
     def lookup(self, line: int, is_write: bool = False) -> bool:
         """Probe for a line; updates LRU and dirty state on hit."""
-        entry = self._sets[self._set_index(line)]
+        entry = self._sets[line % self.n_sets]
         if line in entry:
             entry.move_to_end(line)
             if is_write:
@@ -63,22 +67,25 @@ class Cache:
 
     def fill(self, line: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
         """Install a line; returns the evicted ``(line, dirty)`` if any."""
-        entry = self._sets[self._set_index(line)]
+        entry = self._sets[line % self.n_sets]
+        if line in entry:
+            if dirty and not entry[line]:
+                entry[line] = True
+            entry.move_to_end(line)
+            return None
         victim = None
-        if line not in entry and len(entry) >= self.ways:
-            victim_line, victim_dirty = entry.popitem(last=False)
-            self.stats.evictions += 1
-            if victim_dirty:
-                self.stats.writebacks += 1
-            victim = (victim_line, victim_dirty)
-        entry[line] = entry.get(line, False) or dirty
-        entry.move_to_end(line)
+        if len(entry) >= self.ways:
+            victim = entry.popitem(last=False)
+            stats = self.stats
+            stats.evictions += 1
+            if victim[1]:
+                stats.writebacks += 1
+        entry[line] = dirty
         return victim
 
     def invalidate(self, line: int) -> Optional[bool]:
         """Drop a line (inclusion back-invalidate); returns its dirty flag."""
-        entry = self._sets[self._set_index(line)]
-        return entry.pop(line, None)
+        return self._sets[line % self.n_sets].pop(line, None)
 
     def contains(self, line: int) -> bool:
-        return line in self._sets[self._set_index(line)]
+        return line in self._sets[line % self.n_sets]

@@ -54,6 +54,11 @@ class CacheHierarchy:
         )
         self.dram_reads = 0
         self.dram_writes = 0
+        #: Dirty L1 victims found absent from the inclusive LLC. The
+        #: invariant makes this impossible in normal operation; if an
+        #: external actor breaks it, the victim is written back to DRAM
+        #: (never silently dropped) and counted here.
+        self.inclusion_violations = 0
         # MSHR-style coalescing of in-flight metadata-line fetches and
         # write-queue merging of metadata-line updates: eight data lines
         # share one MAC line, so back-to-back misses on a stream target the
@@ -61,6 +66,13 @@ class CacheHierarchy:
         self._meta_read_inflight: "OrderedDict[int, float]" = OrderedDict()
         self._meta_write_recent: "OrderedDict[int, float]" = OrderedDict()
         self._META_WRITE_MERGE_WINDOW = 1000.0  # memory cycles (~write-queue life)
+        # Hit-path outcomes carry constant latencies; AccessOutcome is
+        # frozen, so the same instances are reused (access() is the hot
+        # path and allocation there is measurable).
+        self._l1_store = AccessOutcome(self.STORE_CYCLES, "l1")
+        self._l1_load = AccessOutcome(self.L1_HIT_CYCLES, "l1")
+        self._llc_store = AccessOutcome(self.STORE_CYCLES, "llc")
+        self._llc_load = AccessOutcome(self.L1_HIT_CYCLES + self.LLC_HIT_CYCLES, "llc")
 
     # -- main access path ------------------------------------------------------
 
@@ -77,34 +89,32 @@ class CacheHierarchy:
     def access(self, core: int, address: int, is_write: bool, now_cpu: float) -> AccessOutcome:
         """One data access from ``core`` at CPU time ``now_cpu``."""
         line = address // self.line_bytes
-        l1 = self.l1[core]
-        if l1.lookup(line, is_write):
-            latency = self.STORE_CYCLES if is_write else self.L1_HIT_CYCLES
-            return AccessOutcome(latency, "l1")
+        if self.l1[core].lookup(line, is_write):
+            return self._l1_store if is_write else self._l1_load
 
         prefetches = (
             self.prefetchers[core].observe(line) if self.prefetchers else []
         )
         if self.llc.lookup(line, is_write=False):
-            self._fill_l1(core, line, dirty=is_write)
-            self._issue_prefetches(prefetches, now_cpu)
-            latency = (
-                self.STORE_CYCLES
-                if is_write
-                else self.L1_HIT_CYCLES + self.LLC_HIT_CYCLES
-            )
-            return AccessOutcome(latency, "llc")
+            self._fill_l1(core, line, is_write, now_cpu)
+            if prefetches:
+                self._issue_prefetches(prefetches, now_cpu)
+            return self._llc_store if is_write else self._llc_load
 
-        # LLC miss: demand access to DRAM.
+        # LLC miss: demand access to DRAM. A victim writeback that hits a
+        # full posted-write queue backpressures the miss handling; that
+        # stall is on the critical path of the triggering access.
         dram_latency_cpu = self._dram_read(line, now_cpu)
-        self._fill_llc(line, now_cpu)
-        self._fill_l1(core, line, dirty=is_write)
-        self._issue_prefetches(prefetches, now_cpu)
+        stall_cpu = self._fill_llc(line, now_cpu)
+        self._fill_l1(core, line, is_write, now_cpu)
+        if prefetches:
+            self._issue_prefetches(prefetches, now_cpu)
         if is_write:
             # The allocation read is off the store's critical path.
-            return AccessOutcome(self.STORE_CYCLES, "dram")
+            return AccessOutcome(self.STORE_CYCLES + stall_cpu, "dram")
         return AccessOutcome(
-            self.L1_HIT_CYCLES + self.LLC_HIT_CYCLES + dram_latency_cpu, "dram"
+            self.L1_HIT_CYCLES + self.LLC_HIT_CYCLES + dram_latency_cpu + stall_cpu,
+            "dram",
         )
 
     # -- internals ------------------------------------------------------------------
@@ -140,34 +150,48 @@ class CacheHierarchy:
             inflight.popitem(last=False)
         return response.data_ready_time
 
-    def _dram_write(self, line: int, now_cpu: float) -> None:
+    def _dram_write(self, line: int, now_cpu: float) -> float:
+        """Post a writeback (+ organization extra write).
+
+        Returns the backpressure stall in CPU cycles: zero unless the
+        controller's posted-write queue was full and delayed acceptance.
+        """
         now_mem = now_cpu / CPU_CYCLES_PER_MEM_CYCLE
-        self.controller.write(line * self.line_bytes, now_mem)
+        accepted_mem = self.controller.write(line * self.line_bytes, now_mem)
         self.dram_writes += 1
         org = self.organization
         if org.extra_write_per_writeback:
             meta_address = org.metadata_address(line * self.line_bytes)
             recent = self._meta_write_recent
             last = recent.get(meta_address)
-            if last is not None and now_mem - last < self._META_WRITE_MERGE_WINDOW:
-                # Write-queue merge: the pending metadata-line update absorbs
-                # this neighbour's contribution.
-                return
-            self.controller.write(meta_address, now_mem)
-            self.dram_writes += 1
-            recent[meta_address] = now_mem
-            recent.move_to_end(meta_address)
-            while len(recent) > 32:
-                recent.popitem(last=False)
+            if last is None or now_mem - last >= self._META_WRITE_MERGE_WINDOW:
+                accepted_mem = max(
+                    accepted_mem, self.controller.write(meta_address, now_mem)
+                )
+                self.dram_writes += 1
+                recent[meta_address] = now_mem
+                recent.move_to_end(meta_address)
+                while len(recent) > 32:
+                    recent.popitem(last=False)
+        return (accepted_mem - now_mem) * CPU_CYCLES_PER_MEM_CYCLE
 
-    def _fill_l1(self, core: int, line: int, dirty: bool) -> None:
+    def _fill_l1(self, core: int, line: int, dirty: bool, now_cpu: float) -> None:
         victim = self.l1[core].fill(line, dirty)
         if victim is not None:
             victim_line, victim_dirty = victim
-            if victim_dirty and self.llc.contains(victim_line):
-                self.llc.lookup(victim_line, is_write=True)
+            if victim_dirty:
+                if self.llc.contains(victim_line):
+                    self.llc.lookup(victim_line, is_write=True)
+                else:
+                    # Under the inclusive-LLC invariant this is impossible
+                    # (every LLC eviction back-invalidates the L1s). If it
+                    # happens anyway, the dirty data must not vanish:
+                    # write it back to DRAM and flag the violation.
+                    self.inclusion_violations += 1
+                    self._dram_write(victim_line, now_cpu)
 
-    def _fill_llc(self, line: int, now_cpu: float) -> None:
+    def _fill_llc(self, line: int, now_cpu: float) -> float:
+        """Install a line into the LLC; returns writeback stall CPU cycles."""
         victim = self.llc.fill(line)
         if victim is not None:
             victim_line, victim_dirty = victim
@@ -177,7 +201,8 @@ class CacheHierarchy:
                 if flag:
                     victim_dirty = True
             if victim_dirty:
-                self._dram_write(victim_line, now_cpu)
+                return self._dram_write(victim_line, now_cpu)
+        return 0.0
 
     def _issue_prefetches(self, lines: List[int], now_cpu: float) -> None:
         for line in lines:

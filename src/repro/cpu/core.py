@@ -35,6 +35,8 @@ class Core:
     def __init__(self, core_id: int, ops: Iterator[MemOp], config: Optional[CoreConfig] = None):
         self.core_id = core_id
         self.config = config or CoreConfig()
+        self._base_cpi = self.config.base_cpi  # hot-loop hoist
+        self._next = ops.__next__
         self._ops = ops
         self.time = 0.0  #: local CPU cycle count
         self.instructions = 0
@@ -47,19 +49,19 @@ class Core:
     def next_op(self) -> Optional[MemOp]:
         """Fetch the next memory op, advancing time over the non-mem gap."""
         try:
-            op = next(self._ops)
+            op = self._next()
         except StopIteration:
             self.finished = True
             return None
         # Non-memory instructions flow through at the workload's base CPI.
-        self.time += op.nonmem_before * self.config.base_cpi
+        self.time += op.nonmem_before * self._base_cpi
         self.instructions += op.nonmem_before + 1
         self._drain_window()
         return op
 
     def complete_op(self, op: MemOp, latency_cycles: float) -> None:
         """Account a memory op whose access took ``latency_cycles``."""
-        self.time += self.config.base_cpi  # dispatch slot
+        self.time += self._base_cpi  # dispatch slot
         completion = self.time + latency_cycles
         if op.is_write:
             # Stores retire via the store buffer; no window occupancy here.

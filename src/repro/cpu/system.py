@@ -51,6 +51,44 @@ class SystemResult:
         """Performance relative to a baseline run (>1 = faster)."""
         return baseline.total_cycles / self.total_cycles
 
+    def to_json(self) -> dict:
+        """JSON-friendly payload for campaign cell caches.
+
+        Python floats round-trip exactly through ``json`` (shortest-repr
+        encoding), so a cached result is bit-identical to a fresh run.
+        """
+        return {
+            "workload": self.workload,
+            "organization": self.organization,
+            "n_cores": self.n_cores,
+            "instructions_per_core": self.instructions_per_core,
+            "core_cycles": list(self.core_cycles),
+            "core_ipc": list(self.core_ipc),
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "llc_miss_rate": self.llc_miss_rate,
+            "row_hit_rate": self.row_hit_rate,
+            "avg_read_latency_mem_cycles": self.avg_read_latency_mem_cycles,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SystemResult":
+        return cls(
+            workload=str(payload["workload"]),
+            organization=str(payload["organization"]),
+            n_cores=int(payload["n_cores"]),
+            instructions_per_core=int(payload["instructions_per_core"]),
+            core_cycles=[float(v) for v in payload["core_cycles"]],
+            core_ipc=[float(v) for v in payload["core_ipc"]],
+            dram_reads=int(payload["dram_reads"]),
+            dram_writes=int(payload["dram_writes"]),
+            llc_miss_rate=float(payload["llc_miss_rate"]),
+            row_hit_rate=float(payload["row_hit_rate"]),
+            avg_read_latency_mem_cycles=float(
+                payload["avg_read_latency_mem_cycles"]
+            ),
+        )
+
     def weighted_speedup(self, baseline: "SystemResult") -> float:
         """Sum over cores of per-core IPC relative to the baseline run.
 
@@ -134,13 +172,19 @@ class System:
         pending_marks = 0 if warmup_instructions == 0 else self.n_cores
         stats_base = self._snapshot_stats() if pending_marks else None
         # Min-heap of (local_time, core_id); tick the most-behind core.
+        # This loop is the simulation: hoist the bound methods and replace
+        # the pop/push pair with heapreplace (one sift instead of two).
         heap = [(core.time, core.core_id) for core in cores]
         heapq.heapify(heap)
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
+        access = self.hierarchy.access
         while heap:
-            _, core_id = heapq.heappop(heap)
+            core_id = heap[0][1]
             core = cores[core_id]
             op = core.next_op()
             if op is None:
+                heappop(heap)
                 continue
             if not start_marked[core_id] and core.instructions >= warmup_instructions:
                 start_cycles[core_id] = core.time
@@ -148,11 +192,9 @@ class System:
                 pending_marks -= 1
                 if pending_marks == 0:
                     stats_base = self._snapshot_stats()
-            outcome = self.hierarchy.access(
-                core.core_id, op.address, op.is_write, core.time
-            )
+            outcome = access(core_id, op.address, op.is_write, core.time)
             core.complete_op(op, outcome.latency_cpu)
-            heapq.heappush(heap, (core.time, core_id))
+            heapreplace(heap, (core.time, core_id))
 
         stats = self._stats_delta(stats_base or self._zero_stats())
         measured = [core.time - start_cycles[i] for i, core in enumerate(cores)]

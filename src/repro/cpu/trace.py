@@ -60,6 +60,8 @@ class TraceGenerator:
         # Probability that an instruction is a cache-visible memory op.
         visible = prof.mem_ratio * (1.0 - prof.hot_fraction)
         self._mean_gap = (1.0 - visible) / visible if visible > 0 else float("inf")
+        #: Precomputed expovariate rate (hot loop; identical float value).
+        self._gap_rate = 1.0 / (self._mean_gap + 1e-9)
         # Renormalized mix among visible ops.
         total = prof.warm_fraction + prof.stream_fraction + prof.random_fraction
         self._p_warm = prof.warm_fraction / total if total else 0.0
@@ -96,11 +98,16 @@ class TraceGenerator:
         remaining = n_instructions
         if self._mean_gap == float("inf"):
             return
+        expovariate = rng.expovariate
+        random_ = rng.random
+        rate = self._gap_rate
+        store_fraction = prof.store_fraction
+        sample = self._sample_address
         while remaining > 0:
-            gap = min(remaining, int(rng.expovariate(1.0 / (self._mean_gap + 1e-9))))
+            gap = min(remaining, int(expovariate(rate)))
             remaining -= gap + 1
-            is_write = rng.random() < prof.store_fraction
-            address, serializing = self._sample_address(is_write)
+            is_write = random_() < store_fraction
+            address, serializing = sample(is_write)
             yield MemOp(gap, is_write, address, serializing)
 
     # -- internals ---------------------------------------------------------------

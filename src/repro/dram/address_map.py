@@ -49,17 +49,14 @@ class AddressMapper:
         lockstep. The hash is injective given (row, bank), so no two
         addresses alias.
         """
-        line = address // self.line_bytes
-        col = line % self.cols_per_row
-        line //= self.cols_per_row
-        bank = line % self.banks
-        line //= self.banks
-        rank = line % self.ranks
-        line //= self.ranks
+        banks = self.banks
+        line, col = divmod(address // self.line_bytes, self.cols_per_row)
+        line, bank = divmod(line, banks)
+        line, rank = divmod(line, self.ranks)
         row = line % self.rows
         fold = line  # row plus any higher (region/core) bits
         h = 0
         while fold:
-            h ^= fold % self.banks
-            fold //= self.banks
-        return DramAddress(rank=rank, bank=(bank ^ h) % self.banks, row=row, col=col)
+            fold, r = divmod(fold, banks)
+            h ^= r
+        return DramAddress(rank=rank, bank=(bank ^ h) % banks, row=row, col=col)

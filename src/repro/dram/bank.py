@@ -28,21 +28,27 @@ class Bank:
         #: When the current row's tRAS window ends (precharge not earlier).
         self._ras_done_at: float = 0.0
 
-    def access(self, row: int, now: float) -> "tuple[float, str]":
+    def access(self, row: int, now: float) -> "tuple[float, str, Optional[float]]":
         """Issue an access to ``row`` at time >= ``now``.
 
-        Returns ``(data_ready_time, kind)`` where kind is ``hit``,
-        ``miss`` (bank was precharged) or ``conflict`` (another row was
-        open). Updates bank state.
+        Returns ``(data_ready_time, kind, act_time)`` where kind is
+        ``hit``, ``miss`` (bank was precharged) or ``conflict`` (another
+        row was open) and ``act_time`` is the memory cycle at which the
+        ACT command actually issued (``None`` for a row hit, which needs
+        no ACT). A busy or conflicting bank issues its ACT later than the
+        caller's ``now`` — the controller must pace tRRD/tFAW from this
+        actual instant, not from admission. Updates bank state.
         """
         t = self.timing
         start = max(now, self.ready_at)
+        act_at: Optional[float] = None
         if self.open_row == row:
             kind = "hit"
             data_at = start + t.row_hit_cycles
             self.ready_at = start + t.tCCD
         elif self.open_row is None:
             kind = "miss"
+            act_at = start
             data_at = start + t.row_miss_cycles
             self.open_row = row
             self._ras_done_at = start + t.tRAS
@@ -50,6 +56,8 @@ class Bank:
         else:
             kind = "conflict"
             start = max(start, self._ras_done_at)
+            # The ACT can only issue once the precharge completes.
+            act_at = start + t.tRP
             data_at = start + t.row_conflict_cycles
             self.open_row = row
             self._ras_done_at = start + t.tRP + t.tRAS
@@ -62,7 +70,7 @@ class Bank:
             self.ready_at = max(
                 self.ready_at, max(start, self._ras_done_at) + t.tRTP + t.tRP
             )
-        return data_at, kind
+        return data_at, kind, act_at
 
     def precharge(self, now: float) -> None:
         """Close the open row (used by refresh)."""

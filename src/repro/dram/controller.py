@@ -15,8 +15,9 @@ CPU cycles via :data:`repro.dram.timing.CPU_CYCLES_PER_MEM_CYCLE`.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.dram.address_map import AddressMapper
 from repro.dram.bank import Bank
@@ -81,11 +82,17 @@ class MemoryController:
         self.page_policy = page_policy
         self._banks: Dict[Tuple[int, int], Bank] = {}
         self._bus_free_at = 0.0
-        #: Per-rank recent activation start times (tRRD / tFAW window).
+        #: Per-rank recent actual ACT issue times (tRRD / tFAW window).
         self._rank_acts: Dict[int, List[float]] = {}
         #: Min-heap of outstanding read completion times (queue occupancy).
         self._inflight_reads: List[float] = []
-        self._write_queue: List[int] = []
+        #: Posted writes not yet issued to a bank (oldest first).
+        self._write_queue: Deque[int] = deque()
+        #: Min-heap of issued writes' data-burst completion times; a write
+        #: occupies its queue entry until its burst finishes.
+        self._write_inflight: List[float] = []
+        #: True while a high-watermark drain episode is in progress.
+        self._write_draining = False
         self._next_refresh = float(timing.tREFI)
         self.stats = ControllerStats()
 
@@ -101,21 +108,67 @@ class MemoryController:
         self.stats.total_read_latency += response.data_ready_time - now
         return response
 
-    def write(self, address: int, now: float) -> None:
-        """Post a write (writeback).
+    def write(self, address: int, now: float) -> float:
+        """Post a write (writeback); returns the time it was accepted.
 
-        Writes are off the critical path (posted via the write queue); a
-        real controller drains them under read priority, so their cost to
-        reads appears as data-bus and bank occupancy rather than as
-        synchronous blocking. The model charges exactly that: the write's
-        bank access and bus burst are booked immediately, inflating the
-        busy times subsequent reads observe.
+        Writes are off the critical path: they park in the posted-write
+        queue and cost nothing until the controller drains them. A write
+        occupies its queue entry from admission until its data burst to
+        DRAM completes. Draining follows the classic watermark policy:
+
+        - occupancy reaching ``WRITE_DRAIN_HIGH`` starts a drain episode
+          (counted in ``stats.write_drains``) during which queued and
+          newly arriving writes issue immediately, booking their bank
+          access and bus burst so subsequent reads observe the busy time;
+        - the episode ends once occupancy decays to ``WRITE_DRAIN_LOW``
+          (entries free as bursts complete);
+        - a full queue (``WRITE_QUEUE_ENTRIES``) backpressures the
+          issuer: the returned accept time is pushed past ``now`` to the
+          completion that frees an entry, and callers charge that stall.
+
+        Writes still parked when the simulation ends were never drained
+        and book no bank/bus cost — the posted-write semantics.
         """
         self.stats.writes += 1
         self._maybe_refresh(now)
-        self._do_access(address, now)
+        inflight = self._write_inflight
+        while inflight and inflight[0] <= now:
+            heapq.heappop(inflight)
+        queue = self._write_queue
+        if self._write_draining and len(queue) + len(inflight) <= self.WRITE_DRAIN_LOW:
+            self._write_draining = False
+        if len(queue) + len(inflight) >= self.WRITE_QUEUE_ENTRIES:
+            # Full: issue anything still parked, then stall until the
+            # earliest in-flight burst frees an entry.
+            self._issue_writes(now)
+            if len(inflight) >= self.WRITE_QUEUE_ENTRIES:
+                now = max(now, heapq.heappop(inflight))
+                while inflight and inflight[0] <= now:
+                    heapq.heappop(inflight)
+        queue.append(address)
+        if (
+            not self._write_draining
+            and len(queue) + len(inflight) >= self.WRITE_DRAIN_HIGH
+        ):
+            self._write_draining = True
+            self.stats.write_drains += 1
+        if self._write_draining:
+            self._issue_writes(now)
+        return now
 
     # -- internals -------------------------------------------------------------
+
+    def _issue_writes(self, now: float) -> None:
+        """Issue every parked write to its bank, booking bank/bus cost.
+
+        Issued writes move to ``_write_inflight``; their queue entries
+        free as the (bus-serialized) data bursts complete.
+        """
+        queue = self._write_queue
+        inflight = self._write_inflight
+        while queue:
+            response = self._do_access(queue.popleft(), now)
+            heapq.heappush(inflight, response.data_ready_time)
 
     def _admit_read(self, now: float) -> float:
         """Block until the read queue has a free entry."""
@@ -138,36 +191,47 @@ class MemoryController:
     def _do_access(self, address: int, now: float) -> MemResponse:
         coords = self.mapper.map(address)
         bank = self._bank(coords.rank, coords.bank)
+        rank = coords.rank
         if bank.open_row != coords.row:
             # This access needs an ACT: honour the rank's tRRD/tFAW pacing.
-            now = self._admit_activation(coords.rank, now)
-        data_at, kind = bank.access(coords.row, now)
+            now = self._admit_activation(rank, now)
+        data_at, kind, act_at = bank.access(coords.row, now)
+        if act_at is not None:
+            # Pace the window from the instant the ACT actually issued —
+            # a busy/conflicting bank issues later than it was admitted.
+            self._record_activation(rank, act_at)
         # The data burst occupies the shared bus for tBL cycles ending at
         # data_at; push it back if the bus is still busy.
-        burst_start = max(data_at - self.timing.tBL, self._bus_free_at)
-        data_at = burst_start + self.timing.tBL
+        tBL = self.timing.tBL
+        burst_start = max(data_at - tBL, self._bus_free_at)
+        data_at = burst_start + tBL
         self._bus_free_at = data_at
+        stats = self.stats
         if kind == "hit":
-            self.stats.row_hits += 1
+            stats.row_hits += 1
         elif kind == "miss":
-            self.stats.row_misses += 1
+            stats.row_misses += 1
         else:
-            self.stats.row_conflicts += 1
+            stats.row_conflicts += 1
         return MemResponse(data_ready_time=data_at, row_result=kind)
 
     def _admit_activation(self, rank: int, now: float) -> float:
         """Earliest time a new ACT to this rank may issue (tRRD, tFAW)."""
-        acts = self._rank_acts.setdefault(rank, [])
+        acts = self._rank_acts.get(rank)
+        if not acts:
+            return now
         t = self.timing
-        start = now
-        if acts:
-            start = max(start, acts[-1] + t.tRRD)
+        start = max(now, acts[-1] + t.tRRD)
         if len(acts) >= 4:
             start = max(start, acts[-4] + t.tFAW)
-        acts.append(start)
+        return start
+
+    def _record_activation(self, rank: int, act_at: float) -> None:
+        """Remember an ACT's actual issue time for tRRD/tFAW pacing."""
+        acts = self._rank_acts.setdefault(rank, [])
+        acts.append(act_at)
         if len(acts) > 4:
             del acts[: len(acts) - 4]
-        return start
 
     def _maybe_refresh(self, now: float) -> None:
         if not self.enable_refresh:

@@ -15,11 +15,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.reporting import format_table, print_banner
+from repro.perf.campaign import ProgressCallback, run_comparison_parallel
 from repro.perf.model import (
     PerfConfig,
     WorkloadResult,
     geomean_slowdown_percent,
-    run_comparison,
 )
 from repro.perf.organizations import PerfOrganization, organization_for
 
@@ -47,8 +47,26 @@ def _run(
     organizations: Sequence[PerfOrganization],
     workloads: Optional[Sequence[str]],
     config: PerfConfig,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> PerfFigure:
-    results = run_comparison(organizations, workloads=workloads, config=config)
+    """All perf figures go through the campaign engine.
+
+    With the default ``workers=None`` (resolving to 1, absent an env or
+    config override) and no cache the engine degenerates to the
+    sequential loop of :func:`repro.perf.model.run_comparison` with
+    bit-identical results; ``workers``/``cache_dir`` only change how fast
+    the grid is covered.
+    """
+    results = run_comparison_parallel(
+        organizations,
+        workloads=workloads,
+        config=config,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
     return PerfFigure([o.name for o in organizations], results)
 
 
@@ -56,21 +74,36 @@ def run_fig7(
     workloads: Optional[Sequence[str]] = None,
     config: Optional[PerfConfig] = None,
     scheme: str = "safeguard-secded",
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> PerfFigure:
     """Figure 7/11: SafeGuard vs. conventional ECC."""
     return _run(
-        [organization_for(scheme, 8)], workloads, config or PerfConfig()
+        [organization_for(scheme, 8)],
+        workloads,
+        config or PerfConfig(),
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
     )
 
 
 def run_fig12(
-    workloads: Optional[Sequence[str]] = None, config: Optional[PerfConfig] = None
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[PerfConfig] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> PerfFigure:
     """Figure 12: SafeGuard vs. SGX-style vs. Synergy-style MAC."""
     return _run(
         [organization_for(name, 8) for name in MAC_SCHEMES],
         workloads,
         config or PerfConfig(),
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
     )
 
 
@@ -78,8 +111,16 @@ def run_fig13(
     latencies: Sequence[int] = (8, 24, 40, 56, 80),
     workloads: Optional[Sequence[str]] = None,
     config: Optional[PerfConfig] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[int, PerfFigure]:
-    """Figure 13: sensitivity to MAC latency for the three organizations."""
+    """Figure 13: sensitivity to MAC latency for the three organizations.
+
+    The baseline cells are shared across latency points; with a
+    ``cache_dir`` the engine computes them once and reloads them for the
+    remaining points of the sweep.
+    """
     config = config or PerfConfig()
     out: Dict[int, PerfFigure] = {}
     for latency in latencies:
@@ -87,6 +128,9 @@ def run_fig13(
             [organization_for(name, latency) for name in MAC_SCHEMES],
             workloads,
             config,
+            workers=workers,
+            cache_dir=cache_dir,
+            progress=progress,
         )
     return out
 

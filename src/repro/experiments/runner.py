@@ -33,12 +33,19 @@ from repro.experiments import (
 )
 from repro.core import registry
 from repro.faultsim.parallel import ProgressStats
+from repro.perf.campaign import ProgressStats as PerfProgressStats
 from repro.perf.model import PerfConfig
 
 
 def _print_progress(stats: ProgressStats) -> None:
     """Carriage-return progress line for interactive parallel runs."""
     end = "\n" if stats.shards_done == stats.shards_total else "\r"
+    print(f"  {stats.describe()}", end=end, file=sys.stderr, flush=True)
+
+
+def _print_perf_progress(stats: PerfProgressStats) -> None:
+    """Same, for the performance-campaign engine's cell grid."""
+    end = "\n" if stats.cells_done == stats.cells_total else "\r"
     print(f"  {stats.describe()}", end=end, file=sys.stderr, flush=True)
 
 
@@ -111,30 +118,53 @@ _PERF_CONFIG = PerfConfig(instructions_per_core=150_000, warmup_instructions=40_
 _PERF_WORKLOADS = ["perlbench", "gcc", "mcf", "omnetpp", "leela", "bwaves", "lbm", "roms"]
 
 
-def _fig7(workers: Optional[int] = None, scheme: Optional[str] = None) -> None:
+def _fig7(
+    workers: Optional[int] = None,
+    scheme: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+) -> None:
+    progress = _print_perf_progress if workers and workers > 1 else None
     perf_figures.report_per_workload(
         perf_figures.run_fig7(
             workloads=_PERF_WORKLOADS,
             config=_PERF_CONFIG,
             scheme=scheme or "safeguard-secded",
+            workers=workers,
+            cache_dir=cache_dir,
+            progress=progress,
         ),
         "Figure 7: SafeGuard vs. conventional ECC",
     )
 
 
-def _fig12(workers: Optional[int] = None) -> None:
+def _fig12(
+    workers: Optional[int] = None, cache_dir: Optional[str] = None
+) -> None:
+    progress = _print_perf_progress if workers and workers > 1 else None
     perf_figures.report_per_workload(
-        perf_figures.run_fig12(workloads=_PERF_WORKLOADS, config=_PERF_CONFIG),
+        perf_figures.run_fig12(
+            workloads=_PERF_WORKLOADS,
+            config=_PERF_CONFIG,
+            workers=workers,
+            cache_dir=cache_dir,
+            progress=progress,
+        ),
         "Figure 12: per-line MAC organizations",
     )
 
 
-def _fig13(workers: Optional[int] = None) -> None:
+def _fig13(
+    workers: Optional[int] = None, cache_dir: Optional[str] = None
+) -> None:
+    progress = _print_perf_progress if workers and workers > 1 else None
     perf_figures.report_fig13(
         perf_figures.run_fig13(
             latencies=(8, 40, 80),
             workloads=["mcf", "omnetpp", "leela"],
             config=_PERF_CONFIG,
+            workers=workers,
+            cache_dir=cache_dir,
+            progress=progress,
         )
     )
 
@@ -187,6 +217,10 @@ SCHEME_AWARE = frozenset({"fig1c", "fig6", "fig7", "fig10", "fig11"})
 #: reliability experiments; see :mod:`repro.faultsim.fastpath`).
 ENGINE_AWARE = frozenset({"fig6", "fig10"})
 
+#: Experiments that accept ``--cache-dir PATH`` (the cycle-level
+#: performance campaigns; see :mod:`repro.perf.campaign`).
+CACHE_AWARE = frozenset({"fig7", "fig11", "fig12", "fig13"})
+
 
 def experiment_names() -> List[str]:
     return sorted(EXPERIMENTS)
@@ -197,12 +231,14 @@ def run_experiment(
     workers: Optional[int] = None,
     scheme: Optional[str] = None,
     engine: Optional[str] = None,
+    cache_dir: Optional[str] = None,
 ) -> None:
     """Run one experiment by name; raises KeyError for unknown names.
 
     ``scheme`` (a registry name) restricts scheme-aware experiments to a
     single organization; ``engine`` selects the Monte-Carlo engine for
-    the reliability experiments; other experiments reject them.
+    the reliability experiments; ``cache_dir`` persists per-cell results
+    for the performance campaigns; other experiments reject them.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -228,6 +264,13 @@ def run_experiment(
         from repro.faultsim import fastpath
 
         kwargs["engine"] = fastpath.resolve_engine(engine)
+    if cache_dir is not None:
+        if name not in CACHE_AWARE:
+            raise ValueError(
+                f"experiment {name!r} does not take --cache-dir; "
+                f"cache-aware: {', '.join(sorted(CACHE_AWARE))}"
+            )
+        kwargs["cache_dir"] = cache_dir
     runner(**kwargs)
 
 

@@ -14,6 +14,13 @@ from repro.perf.organizations import (
     synergy_style,
 )
 from repro.perf.model import PerfConfig, WorkloadResult, run_workload, run_comparison
+from repro.perf.campaign import (
+    CampaignCell,
+    ProgressStats,
+    run_cells,
+    run_comparison_parallel,
+    run_comparison_multiseed_parallel,
+)
 
 __all__ = [
     "PerfOrganization",
@@ -26,4 +33,9 @@ __all__ = [
     "WorkloadResult",
     "run_workload",
     "run_comparison",
+    "CampaignCell",
+    "ProgressStats",
+    "run_cells",
+    "run_comparison_parallel",
+    "run_comparison_multiseed_parallel",
 ]

@@ -1,0 +1,461 @@
+"""Parallel, cacheable performance-campaign engine.
+
+The cycle-level model simulates one ``(workload, organization, seed)``
+cell at a time; a figure is a grid of such cells. Every cell is
+independent — the :class:`~repro.cpu.system.System` seeds its trace
+generators from ``derive_seed(seed, ..., core)`` and shares no state
+across cells — so the grid fans perfectly over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and the merged result
+reproduces the sequential loop of :func:`repro.perf.model.run_comparison`
+**bit-for-bit** (worker count never changes the science). This is the
+performance-campaign sibling of :mod:`repro.faultsim.parallel`.
+
+Robustness and observability:
+
+- ``cache_dir`` persists one JSON file per completed cell, keyed by a
+  *science fingerprint* (workload profile, organization, scale knobs,
+  and every code-level constant that determines the cycle counts). A
+  killed or re-scoped campaign reloads verified cells and recomputes
+  only the missing (or corrupted / mismatching) ones.
+- ``progress`` receives a :class:`ProgressStats` snapshot after every
+  cell completes (cells/sec, ETA, cache hits so far).
+
+Worker-count resolution order: explicit argument > ``config.workers`` >
+``REPRO_PERF_WORKERS`` environment variable > 1 (in-process, no pool).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetcher import StreamPrefetcher
+from repro.cpu.core import CoreConfig
+from repro.cpu.system import SystemResult
+from repro.cpu.trace import TraceGenerator
+from repro.cpu.workloads import SPEC2017_PROFILES, profile
+from repro.dram.controller import MemoryController
+from repro.dram.timing import CPU_CYCLES_PER_MEM_CYCLE, DDR4_3200
+from repro.perf.model import (
+    MultiSeedSummary,
+    PerfConfig,
+    WorkloadResult,
+    geomean_slowdown_percent,
+    run_workload,
+)
+from repro.perf.organizations import BASELINE_ECC, PerfOrganization
+
+#: Environment variable consulted when neither the call nor the config
+#: pins a worker count (see the CLI's ``--workers``).
+WORKERS_ENV = "REPRO_PERF_WORKERS"
+
+#: Cell-cache schema version; bumped if the payload layout changes.
+CACHE_VERSION = 1
+
+#: Bumped whenever the cycle-level model's *behaviour* changes (new
+#: timing constraint, bug fix, different warmup discipline, ...). It
+#: invalidates every cached cell, which is exactly what a science change
+#: requires; the constants below catch configuration drift between runs
+#: of one model version.
+MODEL_VERSION = 3
+
+ProgressCallback = Callable[["ProgressStats"], None]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One independent simulation: a workload/organization/seed triple."""
+
+    index: int
+    workload: str
+    organization: PerfOrganization
+    seed: int
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        """Identity within one campaign (workload, org name, seed)."""
+        return (self.workload, self.organization.name, self.seed)
+
+
+@dataclass
+class ProgressStats:
+    """Snapshot handed to the progress callback after each cell."""
+
+    cells_done: int
+    cells_total: int
+    cells_from_cache: int
+    elapsed_s: float
+
+    @property
+    def cells_per_sec(self) -> float:
+        return self.cells_done / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def eta_s(self) -> float:
+        """Estimated seconds until completion (0 when done or unknown)."""
+        rate = self.cells_per_sec
+        remaining = self.cells_total - self.cells_done
+        return remaining / rate if rate > 0 and remaining > 0 else 0.0
+
+    @property
+    def fraction_done(self) -> float:
+        return self.cells_done / self.cells_total if self.cells_total else 1.0
+
+    def describe(self) -> str:
+        """One-line human summary (used by CLI/script progress printers)."""
+        return (
+            f"cell {self.cells_done}/{self.cells_total} "
+            f"({self.fraction_done:.0%}) "
+            f"{self.cells_per_sec:.2f} cells/s "
+            f"eta {self.eta_s:.0f}s "
+            f"cached {self.cells_from_cache}"
+        )
+
+
+def resolve_workers(
+    workers: Optional[int] = None, config: Optional[PerfConfig] = None
+) -> int:
+    """Explicit argument > config > ``REPRO_PERF_WORKERS`` env > 1."""
+    if workers is None and config is not None:
+        workers = config.workers
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            workers = int(env)
+    workers = 1 if workers is None else int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+# -- science fingerprint ---------------------------------------------------------
+
+
+def cell_fingerprint(cell: CampaignCell, config: PerfConfig) -> dict:
+    """Everything that determines one cell's :class:`SystemResult`.
+
+    Two runs with equal fingerprints produce bit-identical results, so a
+    cached cell may substitute for a fresh simulation. Beyond the obvious
+    inputs (workload profile, organization, scale knobs, seed), the
+    fingerprint pins the code-level constants the cycle counts depend on:
+    DRAM timing, the controller's queue/watermark geometry, hierarchy
+    latencies and sizes, prefetcher tuning, and the core window. A PR
+    that changes model *logic* rather than a constant must bump
+    ``MODEL_VERSION``.
+    """
+    prof = profile(cell.workload)
+    defaults = CoreConfig()
+    pf = StreamPrefetcher()
+    return {
+        "model_version": MODEL_VERSION,
+        "workload": dataclasses.asdict(prof),
+        "organization": dataclasses.asdict(cell.organization),
+        "n_cores": config.n_cores,
+        "instructions_per_core": config.instructions_per_core,
+        "warmup_instructions": config.warmup_instructions,
+        "seed": cell.seed,
+        "timing": dataclasses.asdict(DDR4_3200),
+        "cpu_cycles_per_mem_cycle": CPU_CYCLES_PER_MEM_CYCLE,
+        "controller": {
+            "read_queue": MemoryController.READ_QUEUE_ENTRIES,
+            "write_queue": MemoryController.WRITE_QUEUE_ENTRIES,
+            "drain_high": MemoryController.WRITE_DRAIN_HIGH,
+            "drain_low": MemoryController.WRITE_DRAIN_LOW,
+        },
+        "hierarchy": {
+            "l1_hit": CacheHierarchy.L1_HIT_CYCLES,
+            "llc_hit": CacheHierarchy.LLC_HIT_CYCLES,
+            "store": CacheHierarchy.STORE_CYCLES,
+        },
+        "prefetcher": {
+            "n_streams": pf.n_streams,
+            "degree": pf.degree,
+            "distance": pf.distance,
+        },
+        "core": {"width": defaults.width, "rob_entries": defaults.rob_entries},
+        "warm_bytes": TraceGenerator.WARM_BYTES,
+    }
+
+
+def _fingerprint_digest(fingerprint: dict) -> str:
+    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# -- per-cell result cache -------------------------------------------------------
+
+
+def _cache_path(cache_dir: str, fingerprint: dict) -> str:
+    return os.path.join(cache_dir, f"cell-{_fingerprint_digest(fingerprint)}.json")
+
+
+def _write_cell(
+    cache_dir: str, fingerprint: dict, result: SystemResult
+) -> None:
+    """Atomically persist one cell's result (tmp file + rename)."""
+    os.makedirs(cache_dir, exist_ok=True)
+    payload = {
+        "version": CACHE_VERSION,
+        "fingerprint": fingerprint,
+        "result": result.to_json(),
+    }
+    path = _cache_path(cache_dir, fingerprint)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=cache_dir, prefix=".cell.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def _load_cell(cache_dir: str, fingerprint: dict) -> Optional[SystemResult]:
+    """Load one cell's result; None if absent, corrupted, or stale.
+
+    The *full* fingerprint stored in the file is compared, not just the
+    filename digest, so a hash collision or a hand-edited file can never
+    smuggle in a result computed under different science. Any parse
+    failure falls back to recomputing the cell.
+    """
+    path = _cache_path(cache_dir, fingerprint)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        if payload["version"] != CACHE_VERSION:
+            return None
+        if payload["fingerprint"] != fingerprint:
+            return None
+        return SystemResult.from_json(payload["result"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+# -- the engine ------------------------------------------------------------------
+
+
+def _run_cell(cell: CampaignCell, config: PerfConfig) -> Tuple[int, SystemResult]:
+    """Worker entry point (module-level so it pickles).
+
+    Rebuilds the per-cell :class:`PerfConfig` so the worker depends only
+    on picklable inputs; the cell's own seed overrides the campaign
+    default (multi-seed campaigns put every seed in the same grid).
+    """
+    cell_config = PerfConfig(
+        n_cores=config.n_cores,
+        instructions_per_core=config.instructions_per_core,
+        warmup_instructions=config.warmup_instructions,
+        seed=cell.seed,
+    )
+    result = run_workload(profile(cell.workload), cell.organization, cell_config)
+    return cell.index, result
+
+
+def run_cells(
+    cells: Sequence[CampaignCell],
+    config: Optional[PerfConfig] = None,
+    *,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> Dict[Tuple[str, str, int], SystemResult]:
+    """Simulate every cell; returns results keyed by :attr:`CampaignCell.key`.
+
+    Results are independent of worker count and completion order: the
+    mapping is keyed, every cell is deterministic in its fingerprint, and
+    cached cells are verified against the full fingerprint before use.
+    With ``workers == 1`` the cells run in-process (no pool), which still
+    exercises caching and progress reporting.
+    """
+    config = config or PerfConfig()
+    workers = resolve_workers(workers, config)
+    if cache_dir is None:
+        cache_dir = config.cache_dir
+
+    fingerprints = {cell.index: cell_fingerprint(cell, config) for cell in cells}
+    results: Dict[int, SystemResult] = {}
+    started = time.monotonic()
+    from_cache = 0
+
+    def report() -> None:
+        if progress is None:
+            return
+        progress(
+            ProgressStats(
+                cells_done=len(results),
+                cells_total=len(cells),
+                cells_from_cache=from_cache,
+                elapsed_s=time.monotonic() - started,
+            )
+        )
+
+    pending: List[CampaignCell] = []
+    for cell in cells:
+        cached = (
+            _load_cell(cache_dir, fingerprints[cell.index]) if cache_dir else None
+        )
+        if cached is not None:
+            results[cell.index] = cached
+            from_cache += 1
+            report()
+        else:
+            pending.append(cell)
+
+    def finish(cell: CampaignCell, result: SystemResult) -> None:
+        results[cell.index] = result
+        if cache_dir:
+            _write_cell(cache_dir, fingerprints[cell.index], result)
+        report()
+
+    if workers == 1:
+        for cell in pending:
+            _, result = _run_cell(cell, config)
+            finish(cell, result)
+    elif pending:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {
+                pool.submit(_run_cell, cell, config): cell for cell in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                completed, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in completed:
+                    index, result = future.result()
+                    assert index == futures[future].index
+                    finish(futures[future], result)
+
+    return {cell.key: results[cell.index] for cell in cells}
+
+
+def plan_grid(
+    organizations: Sequence[PerfOrganization],
+    workloads: Optional[Sequence[str]],
+    seeds: Sequence[int],
+    baseline: PerfOrganization = BASELINE_ECC,
+) -> List[CampaignCell]:
+    """The deduplicated cell grid for a comparison campaign.
+
+    Every (workload, organization, seed) appears exactly once even when
+    the baseline is also listed among the organizations; dedup is by
+    organization *name*, matching how results are keyed.
+    """
+    names = (
+        list(workloads)
+        if workloads is not None
+        else [prof.name for prof in SPEC2017_PROFILES]
+    )
+    cells: List[CampaignCell] = []
+    seen = set()
+    for seed in seeds:
+        for workload in names:
+            for org in [baseline, *organizations]:
+                key = (workload, org.name, seed)
+                if key in seen:
+                    continue
+                seen.add(key)
+                cells.append(
+                    CampaignCell(
+                        index=len(cells),
+                        workload=workload,
+                        organization=org,
+                        seed=seed,
+                    )
+                )
+    return cells
+
+
+def run_comparison_parallel(
+    organizations: Sequence[PerfOrganization],
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[PerfConfig] = None,
+    baseline: PerfOrganization = BASELINE_ECC,
+    *,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[WorkloadResult]:
+    """Campaign equivalent of :func:`repro.perf.model.run_comparison`.
+
+    Identical output for any worker count (pinned by
+    ``tests/test_perf_campaign.py``); adds caching and progress.
+    """
+    config = config or PerfConfig()
+    cells = plan_grid(organizations, workloads, [config.seed], baseline)
+    by_key = run_cells(
+        cells, config, workers=workers, cache_dir=cache_dir, progress=progress
+    )
+    names = (
+        list(workloads)
+        if workloads is not None
+        else [prof.name for prof in SPEC2017_PROFILES]
+    )
+    out: List[WorkloadResult] = []
+    for workload in names:
+        entry = WorkloadResult(
+            workload=workload,
+            baseline=by_key[(workload, baseline.name, config.seed)],
+        )
+        for org in organizations:
+            entry.results[org.name] = by_key[(workload, org.name, config.seed)]
+        out.append(entry)
+    return out
+
+
+def run_comparison_multiseed_parallel(
+    organizations: Sequence[PerfOrganization],
+    seeds: Sequence[int],
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[PerfConfig] = None,
+    baseline: PerfOrganization = BASELINE_ECC,
+    *,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> Dict[str, MultiSeedSummary]:
+    """Campaign equivalent of :func:`run_comparison_multiseed`.
+
+    The whole ``seeds x workloads x organizations`` grid goes to the pool
+    at once (a per-seed loop over ``run_comparison_parallel`` would
+    barrier between seeds and leave workers idle at each boundary).
+    """
+    config = config or PerfConfig()
+    cells = plan_grid(organizations, workloads, list(seeds), baseline)
+    by_key = run_cells(
+        cells, config, workers=workers, cache_dir=cache_dir, progress=progress
+    )
+    names = (
+        list(workloads)
+        if workloads is not None
+        else [prof.name for prof in SPEC2017_PROFILES]
+    )
+    per_org: Dict[str, List[float]] = {org.name: [] for org in organizations}
+    for seed in seeds:
+        results = []
+        for workload in names:
+            entry = WorkloadResult(
+                workload=workload,
+                baseline=by_key[(workload, baseline.name, seed)],
+            )
+            for org in organizations:
+                entry.results[org.name] = by_key[(workload, org.name, seed)]
+            results.append(entry)
+        for org in organizations:
+            per_org[org.name].append(
+                geomean_slowdown_percent(results, org.name)
+            )
+    return {
+        name: MultiSeedSummary(name, values) for name, values in per_org.items()
+    }

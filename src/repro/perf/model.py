@@ -31,6 +31,11 @@ class PerfConfig:
     instructions_per_core: int = 300_000
     warmup_instructions: int = 100_000
     seed: int = 0
+    #: Execution knobs for the campaign engine (repro.perf.campaign).
+    #: Not part of the science fingerprint: they change how fast a
+    #: campaign runs, never what it computes.
+    workers: Optional[int] = None
+    cache_dir: Optional[str] = None
 
 
 @dataclass

@@ -65,11 +65,11 @@ class TestAddressMapper:
 class TestBank:
     def test_hit_miss_conflict_sequence(self):
         bank = Bank(DDR4_3200)
-        t1, kind1 = bank.access(row=5, now=0.0)
+        t1, kind1, act1 = bank.access(row=5, now=0.0)
         assert kind1 == "miss"
-        t2, kind2 = bank.access(row=5, now=t1)
+        t2, kind2, act2 = bank.access(row=5, now=t1)
         assert kind2 == "hit"
-        t3, kind3 = bank.access(row=9, now=t2)
+        t3, kind3, act3 = bank.access(row=9, now=t2)
         assert kind3 == "conflict"
         assert t1 < t2 < t3
 
@@ -77,7 +77,7 @@ class TestBank:
         bank = Bank(DDR4_3200)
         bank.access(row=1, now=0.0)
         # Immediately conflicting: precharge cannot happen before tRAS.
-        data_at, kind = bank.access(row=2, now=0.0)
+        data_at, kind, _ = bank.access(row=2, now=0.0)
         assert kind == "conflict"
         assert data_at >= DDR4_3200.tRAS + DDR4_3200.row_conflict_cycles
 
@@ -85,7 +85,7 @@ class TestBank:
         bank = Bank(DDR4_3200)
         bank.access(row=1, now=0.0)
         bank.precharge(now=100.0)
-        _, kind = bank.access(row=1, now=200.0)
+        _, kind, _ = bank.access(row=1, now=200.0)
         assert kind == "miss"
 
 

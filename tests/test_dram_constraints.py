@@ -35,8 +35,11 @@ class TestActivationPacing:
 
     def test_tfaw_limits_burst_of_activations(self):
         mc = MemoryController(enable_refresh=False)
-        acts = mc._admit_activation
-        times = [acts(0, 0.0) for _ in range(8)]
+        times = []
+        for _ in range(8):
+            t = mc._admit_activation(0, 0.0)
+            mc._record_activation(0, t)  # ACT issues right at the floor
+            times.append(t)
         # The 5th ACT waits for the tFAW window of the 1st.
         assert times[4] >= times[0] + DDR4_3200.tFAW
         assert times[7] >= times[3] + DDR4_3200.tFAW
@@ -54,8 +57,40 @@ class TestActivationPacing:
 
     def test_ranks_paced_independently(self):
         mc = MemoryController(enable_refresh=False)
-        mc._admit_activation(0, 0.0)
-        for _ in range(4):
-            mc._admit_activation(0, 0.0)
+        for _ in range(5):
+            t = mc._admit_activation(0, 0.0)
+            mc._record_activation(0, t)
         # Rank 1 is unaffected by rank 0's tFAW window.
         assert mc._admit_activation(1, 0.0) == 0.0
+
+    def test_pacing_measured_from_actual_act_issue_time(self):
+        """A conflicting bank issues its ACT only after tRAS + tRP; the
+        rank's tRRD window must be measured from that actual instant, not
+        from the (much earlier) admitted time."""
+        t = DDR4_3200
+        mc = MemoryController(enable_refresh=False)
+        mapper = mc.mapper
+        c0 = mapper.map(0)
+        conflict_addr = next(
+            a
+            for a in range(64, 1 << 26, 64)
+            if (lambda c: c.rank == c0.rank and c.bank == c0.bank and c.row != c0.row)(
+                mapper.map(a)
+            )
+        )
+        mc.read(0, 0.0)  # miss: ACT at 0
+        mc.read(conflict_addr, 0.0)  # conflict: PRE waits for tRAS, ACT after tRP
+        acts = mc._rank_acts[c0.rank]
+        assert acts[0] == 0.0
+        # The conflicting ACT issued after precharge completed, not at the
+        # admitted tRRD floor the old model recorded.
+        assert acts[1] == t.tRAS + t.tRP
+        # A third ACT in another bank of the same rank is paced from it.
+        other_bank = next(
+            a
+            for a in range(64, 1 << 26, 64)
+            if (lambda c: c.rank == c0.rank and c.bank != c0.bank)(mapper.map(a))
+        )
+        assert mc._admit_activation(c0.rank, 0.0) == acts[1] + t.tRRD
+        mc.read(other_bank, 0.0)
+        assert mc._rank_acts[c0.rank][-1] >= t.tRAS + t.tRP + t.tRRD

@@ -25,7 +25,7 @@ class TestClosedPagePolicy:
         kinds = []
         now = 0.0
         for row in (5, 5, 9, 5):
-            now, kind = bank.access(row, now)
+            now, kind, _ = bank.access(row, now)
             kinds.append(kind)
         assert kinds == ["miss"] * 4
 
@@ -50,8 +50,8 @@ class TestClosedPagePolicy:
         open_bank.access(0, 0.0)
         closed_bank.access(0, 0.0)
         later = 4.0 * t.tRC  # well past any recovery window
-        open_at, open_kind = open_bank.access(1, later)
-        closed_at, closed_kind = closed_bank.access(1, later)
+        open_at, open_kind, _ = open_bank.access(1, later)
+        closed_at, closed_kind, _ = closed_bank.access(1, later)
         assert open_kind == "conflict" and closed_kind == "miss"
         assert closed_at - later == t.row_miss_cycles
         assert open_at - later == t.row_conflict_cycles

@@ -1,13 +1,22 @@
-"""Measure the performance-campaign engine: sequential vs. N workers.
+"""Measure the performance-campaign engines: reference vs. fast vs. workers.
 
 Runs the Figure 7 grid (eight workloads, conventional-ECC baseline plus
-SafeGuard) through :func:`repro.perf.campaign.run_comparison_parallel`
-sequentially and with each benchmarked worker count, verifies the
-parallel results are bit-identical to the sequential ones, and reports
-cells/second plus wall-clock seconds. The full run writes
-``BENCH_perf.json`` at the repository root so the numbers ship with the
-code; ``--quick`` runs a reduced grid at a smaller scale and skips the
-file (the CI smoke mode).
+SafeGuard) four ways:
+
+- ``reference_sequential`` — the scalar cycle-level model (best of
+  ``REPEATS`` runs, to tame shared-host noise);
+- ``fast_sequential`` — the vectorized ``REPRO_PERF`` engine, with a
+  statistical-equivalence assert against the reference results (the
+  engines draw different trace streams, so equality is statistical, not
+  bit-wise; see ``repro.perf.fastpath``);
+- ``fast_workers_N`` — the fast engine fanned over N processes via
+  :func:`repro.perf.campaign.run_comparison_parallel`, asserted
+  bit-identical to the sequential fast run (worker count never changes
+  the science).
+
+The full run writes ``BENCH_perf.json`` at the repository root so the
+numbers ship with the code; ``--quick`` runs a reduced grid at a smaller
+scale and skips the file (the CI smoke mode).
 
 Usage::
 
@@ -30,7 +39,11 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.perf.campaign import run_comparison_parallel  # noqa: E402
-from repro.perf.model import PerfConfig, run_comparison  # noqa: E402
+from repro.perf.model import (  # noqa: E402
+    PerfConfig,
+    geomean_slowdown_percent,
+    run_comparison,
+)
 from repro.perf.organizations import organization_for  # noqa: E402
 
 REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
@@ -45,7 +58,24 @@ QUICK_CONFIG = PerfConfig(
     n_cores=2, instructions_per_core=20_000, warmup_instructions=5_000
 )
 
-WORKER_COUNTS = (1, 2, 4)
+WORKER_COUNTS = (2, 4)
+
+#: Best-of-N timing per row: the grid runs on shared hosts whose load
+#: swings paired measurements by 25-40%, so a single-shot number is
+#: noise; the minimum over repeats is the stable estimate.
+REPEATS = 2
+
+#: Statistical-equivalence bounds between the engines for a SINGLE seed
+#: at the Figure 7 scale. They are loose by design: at this scale the
+#: reference engine's own seed-to-seed spread on a write-heavy workload
+#: is ~3.5pp of normalized performance, and the cross-engine delta sits
+#: inside that envelope (observed max 0.057 per workload, 1.44pp gmean
+#: across seeds 0-1). The tight multi-seed equivalence bounds live in
+#: tests/test_perf_fastpath.py, where means over seeds are compared.
+MAX_PER_WORKLOAD_DELTA = 0.08
+MAX_GMEAN_DELTA_PP = 1.5
+
+ORG_NAME = "safeguard(mac=8)"
 
 
 def _commit_hash() -> str:
@@ -71,46 +101,108 @@ def _identical(a, b) -> bool:
     ) and len(a) == len(b)
 
 
-def run_bench(workloads, config) -> dict:
+def _assert_statistically_equivalent(reference, fast) -> None:
+    """The engines must tell the same performance story."""
+    for ref, fst in zip(reference, fast):
+        delta = abs(
+            ref.normalized_performance(ORG_NAME)
+            - fst.normalized_performance(ORG_NAME)
+        )
+        if delta > MAX_PER_WORKLOAD_DELTA:
+            raise AssertionError(
+                f"{ref.workload}: fast vs reference normalized performance "
+                f"differs by {delta:.4f} (> {MAX_PER_WORKLOAD_DELTA})"
+            )
+    gmean_delta = abs(
+        geomean_slowdown_percent(reference, ORG_NAME)
+        - geomean_slowdown_percent(fast, ORG_NAME)
+    )
+    if gmean_delta > MAX_GMEAN_DELTA_PP:
+        raise AssertionError(
+            f"geomean slowdown differs by {gmean_delta:.3f}pp "
+            f"(> {MAX_GMEAN_DELTA_PP})"
+        )
+
+
+def _best_of(repeats, fn):
+    """(best seconds, last result) over ``repeats`` full runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_bench(workloads, config, repeats) -> dict:
     organizations = [organization_for("safeguard-secded", 8)]
     n_cells = len(workloads) * (len(organizations) + 1)
+    results = {"n_cells": n_cells}
 
-    start = time.perf_counter()
-    sequential = run_comparison(organizations, workloads=workloads, config=config)
-    seq_seconds = time.perf_counter() - start
-    results = {
-        "sequential": {
-            "seconds": round(seq_seconds, 3),
-            "cells_per_s": round(n_cells / seq_seconds, 3),
+    def row(name, seconds, **extra) -> None:
+        results[name] = {
+            "seconds": round(seconds, 3),
+            "cells_per_s": round(n_cells / seconds, 3),
+            **extra,
         }
-    }
-    print(
-        f"  sequential        {seq_seconds:7.2f}s  "
-        f"{n_cells / seq_seconds:6.3f} cells/s"
+        print(
+            f"  {name:22s} {seconds:7.2f}s  {n_cells / seconds:7.3f} cells/s"
+            + (f"  {extra['speedup_vs_reference']:5.2f}x" if "speedup_vs_reference" in extra else "")
+        )
+
+    ref_config = PerfConfig(
+        n_cores=config.n_cores,
+        instructions_per_core=config.instructions_per_core,
+        warmup_instructions=config.warmup_instructions,
+        seed=config.seed,
+        engine="reference",
     )
+    fast_config = PerfConfig(
+        n_cores=config.n_cores,
+        instructions_per_core=config.instructions_per_core,
+        warmup_instructions=config.warmup_instructions,
+        seed=config.seed,
+        engine="fast",
+    )
+
+    ref_seconds, reference = _best_of(
+        repeats,
+        lambda: run_comparison(organizations, workloads=workloads, config=ref_config),
+    )
+    row("reference_sequential", ref_seconds, repeats=repeats)
+
+    fast_seconds, fast = _best_of(
+        repeats,
+        lambda: run_comparison(organizations, workloads=workloads, config=fast_config),
+    )
+    _assert_statistically_equivalent(reference, fast)
+    row(
+        "fast_sequential",
+        fast_seconds,
+        repeats=repeats,
+        speedup_vs_reference=round(ref_seconds / fast_seconds, 2),
+        statistically_equivalent_to_reference=True,
+    )
+
     for workers in WORKER_COUNTS:
         start = time.perf_counter()
         parallel = run_comparison_parallel(
-            organizations, workloads=workloads, config=config, workers=workers
+            organizations, workloads=workloads, config=fast_config, workers=workers
         )
         seconds = time.perf_counter() - start
-        if not _identical(sequential, parallel):
+        if not _identical(fast, parallel):
             raise AssertionError(
-                f"workers={workers} produced different results than sequential"
+                f"workers={workers} produced different results than the "
+                "sequential fast run"
             )
-        speedup = seq_seconds / seconds
-        results[f"workers_{workers}"] = {
-            "workers": workers,
-            "seconds": round(seconds, 3),
-            "cells_per_s": round(n_cells / seconds, 3),
-            "speedup_vs_sequential": round(speedup, 2),
-            "identical_to_sequential": True,
-        }
-        print(
-            f"  workers={workers}         {seconds:7.2f}s  "
-            f"{n_cells / seconds:6.3f} cells/s  {speedup:5.2f}x"
+        row(
+            f"fast_workers_{workers}",
+            seconds,
+            workers=workers,
+            speedup_vs_reference=round(ref_seconds / seconds, 2),
+            identical_to_fast_sequential=True,
         )
-    results["n_cells"] = n_cells
     return results
 
 
@@ -125,12 +217,13 @@ def main() -> int:
 
     workloads = QUICK_WORKLOADS if args.quick else WORKLOADS
     config = QUICK_CONFIG if args.quick else CONFIG
+    repeats = 1 if args.quick else REPEATS
     print(
         "Performance-campaign benchmark (Figure 7 grid, "
         f"{len(workloads)} workloads, {config.instructions_per_core:,} "
         f"instructions/core, workers={list(WORKER_COUNTS)}):"
     )
-    results = run_bench(workloads, config)
+    results = run_bench(workloads, config, repeats)
 
     report = {
         "host": {"cpu_count": os.cpu_count(), "commit": _commit_hash()},
@@ -142,6 +235,7 @@ def main() -> int:
             "seed": config.seed,
             "scheme": "safeguard-secded",
             "workers": list(WORKER_COUNTS),
+            "repeats": repeats,
         },
         "results": results,
     }

@@ -2,12 +2,17 @@
 
 The corpus (``tests/data/golden_perf.json``) pins the bit-exact
 :class:`~repro.cpu.system.SystemResult` of a small grid of
-``(workload, organization, seed)`` cells at a fixed simulation scale.
-``tests/test_perf_campaign.py`` replays every cell and asserts identical
-results — so a refactor of the system model (core window, cache
-hierarchy, DRAM controller, trace generation) either reproduces the
-recorded cycle counts exactly or consciously regenerates the corpus and
-bumps ``repro.perf.campaign.MODEL_VERSION`` in the same change.
+``(workload, organization, seed)`` cells at a fixed simulation scale —
+once per engine: ``result`` is the reference :class:`System` run,
+``result_fast`` the ``REPRO_PERF`` fast engine's. Both engines are
+deterministic, so both records are exact pins even though the engines
+are only statistically equivalent to *each other*.
+``tests/test_perf_campaign.py`` replays every reference record and
+``tests/test_perf_fastpath.py`` every fast record — so a refactor of the
+system model (core window, cache hierarchy, DRAM controller, trace
+generation) or of the fast engine either reproduces the recorded cycle
+counts exactly or consciously regenerates the corpus and bumps
+``repro.perf.campaign.MODEL_VERSION`` in the same change.
 
 Regenerate only when the model's behaviour intentionally changes::
 
@@ -24,6 +29,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.perf.campaign import MODEL_VERSION  # noqa: E402
+from repro.perf.fastpath import run_workload_fast  # noqa: E402
 from repro.perf.model import PerfConfig, run_workload  # noqa: E402
 from repro.perf.organizations import (  # noqa: E402
     BASELINE_ECC,
@@ -38,9 +44,11 @@ OUT_PATH = os.path.join(
 )
 
 #: Small but behaviour-covering grid: a pointer-chaser (mcf), a mixed
-#: workload (gcc) and a write-heavy streamer (bwaves, which exercises the
-#: posted-write drain path), under all four organization shapes.
-WORKLOADS = ("gcc", "mcf", "bwaves")
+#: workload (gcc), a latency-sensitive one (omnetpp), and three
+#: write-heavy streamers (bwaves, lbm, roms) so the posted-write drain
+#: and queue-backpressure paths are exercised — under all four
+#: organization shapes.
+WORKLOADS = ("gcc", "mcf", "omnetpp", "bwaves", "lbm", "roms")
 ORGANIZATIONS = (BASELINE_ECC, safeguard(8), sgx_style(8), synergy_style(8))
 SEEDS = (0, 1)
 
@@ -51,24 +59,43 @@ CONFIG = PerfConfig(n_cores=2, instructions_per_core=20_000, warmup_instructions
 
 def main() -> None:
     cells = []
+    drain_cells = 0
     for workload in WORKLOADS:
         for organization in ORGANIZATIONS:
             for seed in SEEDS:
-                config = PerfConfig(
-                    n_cores=CONFIG.n_cores,
-                    instructions_per_core=CONFIG.instructions_per_core,
-                    warmup_instructions=CONFIG.warmup_instructions,
-                    seed=seed,
+                def config_for(engine):
+                    return PerfConfig(
+                        n_cores=CONFIG.n_cores,
+                        instructions_per_core=CONFIG.instructions_per_core,
+                        warmup_instructions=CONFIG.warmup_instructions,
+                        seed=seed,
+                        engine=engine,
+                    )
+
+                result = run_workload(
+                    profile(workload), organization, config_for("reference")
                 )
-                result = run_workload(profile(workload), organization, config)
+                diagnostics = {}
+                fast = run_workload_fast(
+                    profile(workload),
+                    organization,
+                    config_for("fast"),
+                    diagnostics=diagnostics,
+                )
+                if diagnostics["write_drains"] > 0:
+                    drain_cells += 1
                 cells.append(
                     {
                         "workload": workload,
                         "organization": dataclasses.asdict(organization),
                         "seed": seed,
                         "result": result.to_json(),
+                        "result_fast": fast.to_json(),
                     }
                 )
+    # The write-heavy workloads exist to pin the drain rare path; a grid
+    # where no cell drains would silently stop covering it.
+    assert drain_cells > 0, "no cell exercised the posted-write drain path"
     payload = {
         "model_version": MODEL_VERSION,
         "config": {
@@ -80,7 +107,10 @@ def main() -> None:
     }
     with open(OUT_PATH, "w") as handle:
         json.dump(payload, handle, indent=1)
-    print(f"wrote {len(cells)} cells to {OUT_PATH}")
+    print(
+        f"wrote {len(cells)} cells to {OUT_PATH} "
+        f"({drain_cells} with drain episodes)"
+    )
 
 
 if __name__ == "__main__":

@@ -18,10 +18,13 @@ performance campaigns (``REPRO_PERF_WORKERS`` fallback) across N
 processes; results are bit-identical to the sequential run in both
 engines. ``--scheme NAME`` (a name from ``python -m repro schemes``)
 restricts scheme-aware experiments (fig1c/fig6/fig7/fig10/fig11) to a
-single memory organization. ``--engine fast|reference`` (or
-``REPRO_FAULTSIM``) selects the Monte-Carlo engine for fig6/fig10 — the
-vectorized fast path is statistically equivalent to the reference loop,
-not bit-identical. ``--cache-dir PATH`` persists one verified JSON
+single memory organization. ``--engine fast|reference`` selects the
+simulation engine for the engine-aware experiments: the Monte-Carlo
+reliability figures fig6/fig10 (``REPRO_FAULTSIM`` fallback) and the
+cycle-level performance figures fig7/fig11/fig12/fig13 (``REPRO_PERF``
+fallback). Both vectorized fast paths are statistically equivalent to
+their reference loops, not bit-identical, and campaign caches /
+checkpoints never cross engines. ``--cache-dir PATH`` persists one verified JSON
 result per performance-campaign cell (fig7/fig11/fig12/fig13): a killed
 or re-scoped campaign recomputes only the cells it is missing.
 """
@@ -76,6 +79,8 @@ def main(argv=None) -> int:
         engine, argv = _parse_option(argv, "--engine", str)
         cache_dir, argv = _parse_option(argv, "--cache-dir", str)
         if engine is not None:
+            # Both engine switches recognize the same names; the runner
+            # resolves against the right module per experiment.
             from repro.faultsim import fastpath
 
             engine = fastpath.resolve_engine(engine)  # validates the name

@@ -11,7 +11,7 @@ sweeps the MAC latency from 8 to 80 cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.reporting import format_table, print_banner
@@ -50,6 +50,7 @@ def _run(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    engine: Optional[str] = None,
 ) -> PerfFigure:
     """All perf figures go through the campaign engine.
 
@@ -57,8 +58,13 @@ def _run(
     config override) and no cache the engine degenerates to the
     sequential loop of :func:`repro.perf.model.run_comparison` with
     bit-identical results; ``workers``/``cache_dir`` only change how fast
-    the grid is covered.
+    the grid is covered. ``engine`` (``"fast"``/``"reference"``, the
+    CLI's ``--engine``) overrides ``config.engine``; unlike the execution
+    knobs it *does* select between the statistically-equivalent
+    simulation engines (see :mod:`repro.perf.fastpath`).
     """
+    if engine is not None:
+        config = replace(config, engine=engine)
     results = run_comparison_parallel(
         organizations,
         workloads=workloads,
@@ -77,6 +83,7 @@ def run_fig7(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    engine: Optional[str] = None,
 ) -> PerfFigure:
     """Figure 7/11: SafeGuard vs. conventional ECC."""
     return _run(
@@ -86,6 +93,7 @@ def run_fig7(
         workers=workers,
         cache_dir=cache_dir,
         progress=progress,
+        engine=engine,
     )
 
 
@@ -95,6 +103,7 @@ def run_fig12(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    engine: Optional[str] = None,
 ) -> PerfFigure:
     """Figure 12: SafeGuard vs. SGX-style vs. Synergy-style MAC."""
     return _run(
@@ -104,6 +113,7 @@ def run_fig12(
         workers=workers,
         cache_dir=cache_dir,
         progress=progress,
+        engine=engine,
     )
 
 
@@ -114,6 +124,7 @@ def run_fig13(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    engine: Optional[str] = None,
 ) -> Dict[int, PerfFigure]:
     """Figure 13: sensitivity to MAC latency for the three organizations.
 
@@ -131,6 +142,7 @@ def run_fig13(
             workers=workers,
             cache_dir=cache_dir,
             progress=progress,
+            engine=engine,
         )
     return out
 

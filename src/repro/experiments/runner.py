@@ -122,6 +122,7 @@ def _fig7(
     workers: Optional[int] = None,
     scheme: Optional[str] = None,
     cache_dir: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> None:
     progress = _print_perf_progress if workers and workers > 1 else None
     perf_figures.report_per_workload(
@@ -132,13 +133,16 @@ def _fig7(
             workers=workers,
             cache_dir=cache_dir,
             progress=progress,
+            engine=engine,
         ),
         "Figure 7: SafeGuard vs. conventional ECC",
     )
 
 
 def _fig12(
-    workers: Optional[int] = None, cache_dir: Optional[str] = None
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> None:
     progress = _print_perf_progress if workers and workers > 1 else None
     perf_figures.report_per_workload(
@@ -148,13 +152,16 @@ def _fig12(
             workers=workers,
             cache_dir=cache_dir,
             progress=progress,
+            engine=engine,
         ),
         "Figure 12: per-line MAC organizations",
     )
 
 
 def _fig13(
-    workers: Optional[int] = None, cache_dir: Optional[str] = None
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> None:
     progress = _print_perf_progress if workers and workers > 1 else None
     perf_figures.report_fig13(
@@ -165,6 +172,7 @@ def _fig13(
             workers=workers,
             cache_dir=cache_dir,
             progress=progress,
+            engine=engine,
         )
     )
 
@@ -213,9 +221,14 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
 #: more organizations from the scheme registry).
 SCHEME_AWARE = frozenset({"fig1c", "fig6", "fig7", "fig10", "fig11"})
 
-#: Experiments that accept ``--engine fast|reference`` (the Monte-Carlo
-#: reliability experiments; see :mod:`repro.faultsim.fastpath`).
-ENGINE_AWARE = frozenset({"fig6", "fig10"})
+#: Experiments that accept ``--engine fast|reference``: the Monte-Carlo
+#: reliability experiments (``REPRO_FAULTSIM``;
+#: :mod:`repro.faultsim.fastpath`) and the cycle-level performance
+#: campaigns (``REPRO_PERF``; :mod:`repro.perf.fastpath`).
+ENGINE_AWARE = frozenset({"fig6", "fig7", "fig10", "fig11", "fig12", "fig13"})
+
+#: The subset of :data:`ENGINE_AWARE` whose engine is the perf one.
+_PERF_ENGINE = frozenset({"fig7", "fig11", "fig12", "fig13"})
 
 #: Experiments that accept ``--cache-dir PATH`` (the cycle-level
 #: performance campaigns; see :mod:`repro.perf.campaign`).
@@ -261,7 +274,10 @@ def run_experiment(
                 f"experiment {name!r} does not take --engine; "
                 f"engine-aware: {', '.join(sorted(ENGINE_AWARE))}"
             )
-        from repro.faultsim import fastpath
+        if name in _PERF_ENGINE:
+            from repro.perf import fastpath
+        else:
+            from repro.faultsim import fastpath
 
         kwargs["engine"] = fastpath.resolve_engine(engine)
     if cache_dir is not None:

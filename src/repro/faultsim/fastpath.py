@@ -53,7 +53,7 @@ from repro.faultsim.evaluators import Outcome
 from repro.faultsim.faults import place_fault
 from repro.faultsim.fit import FaultMode
 from repro.faultsim.geometry import ModuleGeometry
-from repro.utils.rng import derive_seed
+from repro.utils.rng import child_seeds, derive_seed, unit_uniforms
 
 #: Recognized values of the ``REPRO_FAULTSIM`` environment variable.
 VALID_ENGINES = ("fast", "reference")
@@ -120,32 +120,8 @@ def resolve_engine(engine: Optional[str] = None) -> str:
     return engine
 
 
-# -- vectorized splitmix64 draws -------------------------------------------------
-
-_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
-_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
-_MIX2 = np.uint64(0x94D049BB133111EB)
-
-
-def child_seeds(state: np.ndarray, salt) -> np.ndarray:
-    """Vectorized ``derive_seed`` step: one child per (state, salt) pair.
-
-    Bit-exact with :func:`repro.utils.rng.derive_seed` applied
-    elementwise — ``child_seeds(np.uint64(s), idx)[i] ==
-    derive_seed(s, int(idx[i]))`` — so the fast engine's draws are a pure
-    function of ``(seed, global module index, draw index)`` and any
-    sharding reproduces them.
-    """
-    with np.errstate(over="ignore"):  # splitmix64 is arithmetic mod 2^64
-        state = np.uint64(state) + _GOLDEN + np.asarray(salt, dtype=np.uint64)
-        state = (state ^ (state >> np.uint64(30))) * _MIX1
-        state = (state ^ (state >> np.uint64(27))) * _MIX2
-        return state ^ (state >> np.uint64(31))
-
-
-def unit_uniforms(seeds: np.ndarray) -> np.ndarray:
-    """Map 64-bit states to float64 uniforms in [0, 1) (53-bit mantissa)."""
-    return (seeds >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))
+# child_seeds / unit_uniforms live in repro.utils.rng (shared with the
+# REPRO_PERF fast engine); the imports above re-export them here.
 
 
 # -- derived outcome tables ------------------------------------------------------

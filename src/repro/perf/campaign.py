@@ -44,6 +44,7 @@ from repro.cpu.trace import TraceGenerator
 from repro.cpu.workloads import SPEC2017_PROFILES, profile
 from repro.dram.controller import MemoryController
 from repro.dram.timing import CPU_CYCLES_PER_MEM_CYCLE, DDR4_3200
+from repro.perf import fastpath
 from repro.perf.model import (
     MultiSeedSummary,
     PerfConfig,
@@ -156,6 +157,9 @@ def cell_fingerprint(cell: CampaignCell, config: PerfConfig) -> dict:
     pf = StreamPrefetcher()
     return {
         "model_version": MODEL_VERSION,
+        # The engines are statistically equivalent, not bit-identical, so
+        # a cached cell must never substitute across them.
+        "engine": fastpath.resolve_engine(config.engine),
         "workload": dataclasses.asdict(prof),
         "organization": dataclasses.asdict(cell.organization),
         "n_cores": config.n_cores,
@@ -251,15 +255,32 @@ def _run_cell(cell: CampaignCell, config: PerfConfig) -> Tuple[int, SystemResult
     Rebuilds the per-cell :class:`PerfConfig` so the worker depends only
     on picklable inputs; the cell's own seed overrides the campaign
     default (multi-seed campaigns put every seed in the same grid).
+    ``config.engine`` arrives already resolved by :func:`run_cells`, so a
+    pool worker never consults its own process-wide mode.
     """
     cell_config = PerfConfig(
         n_cores=config.n_cores,
         instructions_per_core=config.instructions_per_core,
         warmup_instructions=config.warmup_instructions,
         seed=cell.seed,
+        engine=config.engine,
     )
     result = run_workload(profile(cell.workload), cell.organization, cell_config)
     return cell.index, result
+
+
+def _run_cell_group(
+    cells: Sequence[CampaignCell], config: PerfConfig
+) -> List[Tuple[int, SystemResult]]:
+    """Run a (workload, seed) group of cells in one worker.
+
+    The fast engine memoizes the org-independent content pass per
+    process, so every organization of a workload must run in the same
+    worker to share it; splitting a group across the pool recomputes the
+    pass once per organization, which on the Figure 7 grid roughly
+    doubles the parallel campaign's total work.
+    """
+    return [_run_cell(cell, config) for cell in cells]
 
 
 def run_cells(
@@ -279,6 +300,12 @@ def run_cells(
     exercises caching and progress reporting.
     """
     config = config or PerfConfig()
+    # Resolve the engine once, here in the parent: fingerprints, the
+    # in-process path, and every pool worker then agree on it even if the
+    # process-wide mode changes mid-campaign (or differs in a worker).
+    config = dataclasses.replace(
+        config, engine=fastpath.resolve_engine(config.engine)
+    )
     workers = resolve_workers(workers, config)
     if cache_dir is None:
         cache_dir = config.cache_dir
@@ -323,9 +350,17 @@ def run_cells(
             _, result = _run_cell(cell, config)
             finish(cell, result)
     elif pending:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+        # The unit of distribution is a (workload, seed) group, not a
+        # cell: see _run_cell_group. Grouping only changes which worker
+        # runs a cell, never its result — each cell still simulates from
+        # its own fingerprinted config.
+        groups: Dict[Tuple[str, int], List[CampaignCell]] = {}
+        for cell in pending:
+            groups.setdefault((cell.workload, cell.seed), []).append(cell)
+        with ProcessPoolExecutor(max_workers=min(workers, len(groups))) as pool:
             futures = {
-                pool.submit(_run_cell, cell, config): cell for cell in pending
+                pool.submit(_run_cell_group, group, config): group
+                for group in groups.values()
             }
             outstanding = set(futures)
             while outstanding:
@@ -333,9 +368,9 @@ def run_cells(
                     outstanding, return_when=FIRST_COMPLETED
                 )
                 for future in completed:
-                    index, result = future.result()
-                    assert index == futures[future].index
-                    finish(futures[future], result)
+                    by_index = {cell.index: cell for cell in futures[future]}
+                    for index, result in future.result():
+                        finish(by_index[index], result)
 
     return {cell.key: results[cell.index] for cell in cells}
 

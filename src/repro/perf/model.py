@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cpu.system import System, SystemResult
 from repro.cpu.workloads import SPEC2017_PROFILES, WorkloadProfile, profile
+from repro.perf import fastpath
 from repro.perf.organizations import BASELINE_ECC, PerfOrganization
 
 
@@ -31,6 +32,11 @@ class PerfConfig:
     instructions_per_core: int = 300_000
     warmup_instructions: int = 100_000
     seed: int = 0
+    #: Simulation engine: ``"fast"`` / ``"reference"``, or None to follow
+    #: the process-wide mode (``REPRO_PERF`` / ``fastpath.set_engine``).
+    #: Science-relevant — the engines are statistically equivalent but
+    #: not bit-identical — so it is part of the campaign fingerprint.
+    engine: Optional[str] = None
     #: Execution knobs for the campaign engine (repro.perf.campaign).
     #: Not part of the science fingerprint: they change how fast a
     #: campaign runs, never what it computes.
@@ -59,8 +65,18 @@ def run_workload(
     organization: PerfOrganization,
     config: Optional[PerfConfig] = None,
 ) -> SystemResult:
-    """Simulate one workload under one memory organization."""
+    """Simulate one workload under one memory organization.
+
+    Dispatches to the vectorized engine when ``config.engine`` (or the
+    process-wide ``REPRO_PERF`` mode) selects ``"fast"`` and the fast
+    engine's timing decomposition applies to the profile; otherwise runs
+    the reference :class:`System`.
+    """
     config = config or PerfConfig()
+    if fastpath.resolve_engine(config.engine) == "fast" and fastpath.supports(
+        workload
+    ):
+        return fastpath.run_workload_fast(workload, organization, config)
     system = System(
         workload, organization, n_cores=config.n_cores, seed=config.seed
     )
@@ -149,6 +165,7 @@ def run_comparison_multiseed(
             instructions_per_core=config.instructions_per_core,
             warmup_instructions=config.warmup_instructions,
             seed=seed,
+            engine=config.engine,
         )
         results = run_comparison(
             organizations, workloads=workloads, config=seed_config, baseline=baseline

@@ -36,3 +36,30 @@ def derive_seed(seed: int, *salts: int) -> int:
         state = ((state ^ (state >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
         state = state ^ (state >> 31)
     return state
+
+
+# -- vectorized splitmix64 draws (shared by the fast engines) --------------------
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def child_seeds(state: "np.ndarray", salt) -> "np.ndarray":
+    """Vectorized :func:`derive_seed` step: one child per (state, salt) pair.
+
+    Bit-exact with :func:`derive_seed` applied elementwise —
+    ``child_seeds(np.uint64(s), idx)[i] == derive_seed(s, int(idx[i]))`` —
+    so a fast engine's draws are a pure function of counter indices and
+    any sharding reproduces them.
+    """
+    with np.errstate(over="ignore"):  # splitmix64 is arithmetic mod 2^64
+        state = np.uint64(state) + _GOLDEN + np.asarray(salt, dtype=np.uint64)
+        state = (state ^ (state >> np.uint64(30))) * _MIX1
+        state = (state ^ (state >> np.uint64(27))) * _MIX2
+        return state ^ (state >> np.uint64(31))
+
+
+def unit_uniforms(seeds: "np.ndarray") -> "np.ndarray":
+    """Map 64-bit states to float64 uniforms in [0, 1) (53-bit mantissa)."""
+    return (seeds >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))

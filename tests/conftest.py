@@ -1,10 +1,24 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Tiering: heavy equivalence/statistical suites carry ``@pytest.mark.slow``;
+``pytest -m "not slow"`` is the quick tier CI runs under both simulation
+engines, the unfiltered run is tier-1. The marker is registered here as
+well as in ``pyproject.toml`` so a bare ``pytest tests/...`` invocation
+from outside the repo root still knows it.
+"""
 
 import random
 
 import pytest
 
 from repro.core.config import SafeGuardConfig
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        'slow: heavy equivalence/statistical suites; deselect with -m "not slow"',
+    )
 
 
 @pytest.fixture

@@ -60,6 +60,7 @@ class TestCLI:
         assert "mac,column-parity" in out
         assert "chipkill" in out
 
+    @pytest.mark.slow
     def test_scheme_flag_restricts_experiment(self, capsys):
         assert main(["fig1c", "--scheme", "safeguard-secded"]) == 0
         out = capsys.readouterr().out

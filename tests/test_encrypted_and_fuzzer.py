@@ -121,6 +121,7 @@ class TestPatternFuzzer:
         assert result.found_breakthrough
         assert result.trials_to_first_break is not None
 
+    @pytest.mark.slow
     def test_discovers_trr_breaker(self):
         """Blacksmith's result in miniature: random pattern search finds a
         tracker-flushing pattern without being told about TRRespass."""

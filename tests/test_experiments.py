@@ -1,6 +1,8 @@
 """Smoke tests: every experiment module runs and reports at small scale."""
 
 
+import pytest
+
 from repro.experiments import (
     fig1b_attacks,
     fig1c_detection,
@@ -39,6 +41,7 @@ class TestStaticTables:
         assert "14GB (2GB loss)" in out
 
 
+@pytest.mark.slow
 class TestFig1b:
     def test_matrix_shape_and_breakthroughs(self):
         cells = fig1b_attacks.run(rh_threshold=600, budget=120_000)

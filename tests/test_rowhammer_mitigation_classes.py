@@ -62,6 +62,7 @@ class TestIsolationEvaluation:
         outcome = evaluate_isolation(2, lambda: TRRMitigation(4))
         assert outcome.isolation_held
 
+    @pytest.mark.slow
     def test_wider_guards_cost_capacity(self):
         narrow = evaluate_isolation(1, None)
         wide = evaluate_isolation(4, None)

@@ -1,0 +1,212 @@
+"""Unified campaign smoke: every adapter, 2 workers, one shared store.
+
+CI's one-stop check that the generic campaign core works end to end for
+all three campaign families, replacing the per-engine smoke steps it
+grew out of:
+
+1. **Monte-Carlo shards** (both faultsim engines): the 2-worker sharded
+   run is bit-identical to the sequential loop.
+2. **Performance cells** (both perf engines): the 2-worker grid is
+   bit-identical to ``run_comparison``, and a second run reloads every
+   cell from the shared store.
+3. **Row-Hammer sweep**: 2-worker run matches sequential, resumes from
+   the shared store.
+4. **Kill-and-resume**: a child process running the sweep is killed
+   mid-campaign; the parent resumes from the partial store, recomputes
+   only what is missing, and ends with identical results.
+
+All cached campaigns write into ONE shared store directory (cells are
+fingerprint-named, so families cohabit), and the final step checks
+``python -m repro campaign-status`` summarizes it.
+
+Run locally: ``PYTHONPATH=src python scripts/ci_campaign_smoke.py``
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.campaign import summarize_index
+from repro.faultsim.evaluators import SafeGuardSECDEDEvaluator, SECDEDEvaluator
+from repro.faultsim.geometry import X8_SECDED_16GB
+from repro.faultsim.montecarlo import MonteCarloConfig, simulate
+from repro.faultsim.parallel import simulate_parallel
+from repro.perf.campaign import run_comparison_parallel
+from repro.perf.model import PerfConfig, run_comparison
+from repro.perf.organizations import safeguard
+from repro.rowhammer.sweep import SweepConfig, plan_sweep, run_sweep
+
+
+def check_faultsim(store: str) -> None:
+    for engine, evaluator in (
+        ("reference", SECDEDEvaluator(X8_SECDED_16GB)),
+        ("fast", SafeGuardSECDEDEvaluator(X8_SECDED_16GB)),
+    ):
+        config = MonteCarloConfig(
+            n_modules=10_000, seed=42, fit_multiplier=10.0, engine=engine
+        )
+        sequential = simulate(evaluator, X8_SECDED_16GB, config)
+        parallel = simulate_parallel(
+            evaluator,
+            X8_SECDED_16GB,
+            config,
+            workers=2,
+            shards=4,
+            checkpoint_dir=os.path.join(store, f"faultsim-{engine}"),
+        )
+        assert sequential.n_failed > 0
+        assert parallel.fail_times == sequential.fail_times
+        assert parallel.fail_probability == sequential.fail_probability
+        assert parallel.failures_by_scope == sequential.failures_by_scope
+        print(
+            f"faultsim[{engine}] OK: {parallel.n_failed} failures, "
+            f"2-worker result identical to sequential"
+        )
+
+
+def check_perf(store: str) -> None:
+    for engine, workloads in (("reference", ["mcf", "gcc"]), ("fast", ["mcf", "lbm"])):
+        config = PerfConfig(
+            n_cores=2,
+            instructions_per_core=12_000,
+            warmup_instructions=3_000,
+            engine=engine,
+        )
+        orgs = [safeguard(8)]
+        sequential = run_comparison(orgs, workloads=workloads, config=config)
+        parallel = run_comparison_parallel(
+            orgs, workloads=workloads, config=config, workers=2, cache_dir=store
+        )
+        stats = []
+        cached = run_comparison_parallel(
+            orgs,
+            workloads=workloads,
+            config=config,
+            workers=2,
+            cache_dir=store,
+            progress=stats.append,
+        )
+        for a, b, c in zip(sequential, parallel, cached):
+            assert a.baseline == b.baseline == c.baseline
+            assert a.results == b.results == c.results
+        assert stats[-1].cells_from_cache == stats[-1].cells_total == 4
+        print(
+            f"perf[{engine}] OK: 2-worker grid identical to sequential, "
+            f"all 4 cells reloaded from the shared store"
+        )
+
+
+SWEEP_CONFIG = SweepConfig(budget=6_000)
+
+
+def sweep_cells():
+    return plan_sweep(
+        attacks=["double-sided", "half-double"],
+        mitigations=["none", "graphene"],
+        schemes=["secded", "safeguard-secded"],
+        seeds=[3],
+    )
+
+
+def check_sweep(store: str) -> None:
+    cells = sweep_cells()
+    sequential = run_sweep(cells, SWEEP_CONFIG)
+    parallel = run_sweep(cells, SWEEP_CONFIG, workers=2, cache_dir=store)
+    stats = []
+    cached = run_sweep(cells, SWEEP_CONFIG, cache_dir=store, progress=stats.append)
+    as_json = lambda results: {k: v.to_json() for k, v in results.items()}  # noqa: E731
+    assert as_json(sequential) == as_json(parallel) == as_json(cached)
+    assert stats[-1].items_from_store == len(cells)
+    print(
+        f"hammer-sweep OK: 2-worker sweep identical to sequential, "
+        f"all {len(cells)} points reloaded from the shared store"
+    )
+
+
+#: Child payload for the kill-and-resume check: runs the sweep into the
+#: store given by argv[1] and hard-exits after the third completed point
+#: — mid-campaign, like a CI timeout or an operator's Ctrl-C.
+_CHILD = """
+import os, sys
+from repro.rowhammer.sweep import SweepConfig, plan_sweep, run_sweep
+
+cells = plan_sweep(
+    attacks=["double-sided", "half-double"],
+    mitigations=["none", "graphene"],
+    schemes=["secded", "safeguard-secded"],
+    seeds=[3],
+)
+
+def die_after_three(snap):
+    if snap.items_done >= 3:
+        os._exit(1)
+
+run_sweep(cells, SweepConfig(budget=6_000), cache_dir=sys.argv[1],
+          progress=die_after_three)
+raise SystemExit("child was supposed to die mid-campaign")
+"""
+
+
+def check_kill_and_resume(store: str, reference) -> None:
+    kill_store = os.path.join(store, "killed-sweep")
+    env = dict(os.environ, PYTHONPATH="src" + os.pathsep + os.environ.get("PYTHONPATH", ""))
+    child = subprocess.run(
+        [sys.executable, "-c", _CHILD, kill_store],
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    assert child.returncode == 1, f"child exited {child.returncode}, expected the kill"
+    partial = summarize_index(kill_store).get("hammer-sweep", {"completed": 0})
+    assert 0 < partial["completed"] < len(sweep_cells())
+    stats = []
+    resumed = run_sweep(
+        sweep_cells(), SWEEP_CONFIG, cache_dir=kill_store, progress=stats.append
+    )
+    assert stats[-1].items_from_store == partial["completed"]
+    assert {k: v.to_json() for k, v in resumed.items()} == {
+        k: v.to_json() for k, v in reference.items()
+    }
+    print(
+        f"kill-and-resume OK: child died after {partial['completed']} points, "
+        f"resume recomputed only the remaining "
+        f"{len(sweep_cells()) - partial['completed']}"
+    )
+
+
+def check_status(store: str) -> None:
+    summary = summarize_index(store)
+    # 4 cells per engine; "mcf" keys repeat across engines (distinct
+    # fingerprints -> distinct cell files, same science key).
+    assert summary["perf"]["cells"] == 8
+    assert summary["perf"]["completed"] == 6
+    assert summary["hammer-sweep"]["completed"] == len(sweep_cells())
+    status = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign-status", store],
+        capture_output=True,
+        text=True,
+        env=dict(
+            os.environ,
+            PYTHONPATH="src" + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        ),
+    )
+    assert status.returncode == 0, status.stderr
+    assert "perf" in status.stdout and "hammer-sweep" in status.stdout
+    print("campaign-status OK:")
+    print(status.stdout.rstrip())
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as store:
+        check_faultsim(store)
+        check_perf(store)
+        check_sweep(store)
+        reference = run_sweep(sweep_cells(), SWEEP_CONFIG)
+        check_kill_and_resume(store, reference)
+        check_status(store)
+    print("unified campaign smoke: all adapters OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ Usage::
     python -m repro fig6 --engine fast       # vectorized Monte-Carlo engine
     python -m repro fig7 --workers 8         # parallel perf campaign (same output)
     python -m repro fig7 --cache-dir .cells  # resumable per-cell result cache
+    python -m repro hammer-sweep --workers 4 --cache-dir .sweep
+    python -m repro campaign-status .sweep   # summarize a campaign store
     python -m repro all                      # everything (interactive scale)
 
 ``--workers N`` fans the Monte-Carlo reliability experiments
@@ -25,8 +27,12 @@ cycle-level performance figures fig7/fig11/fig12/fig13 (``REPRO_PERF``
 fallback). Both vectorized fast paths are statistically equivalent to
 their reference loops, not bit-identical, and campaign caches /
 checkpoints never cross engines. ``--cache-dir PATH`` persists one verified JSON
-result per performance-campaign cell (fig7/fig11/fig12/fig13): a killed
-or re-scoped campaign recomputes only the cells it is missing.
+result per campaign cell (the performance figures fig7/fig11/fig12/fig13
+and the ``hammer-sweep`` attack campaign): a killed or re-scoped campaign
+recomputes only the cells it is missing. ``campaign-status DIR`` reads the
+store's append-only index and prints per-campaign completion counts. The
+generic ``REPRO_WORKERS`` parallelizes every campaign family at once; the
+engine-specific variables above take precedence over it.
 """
 
 import sys
@@ -62,6 +68,22 @@ def _parse_workers(argv):
     if workers is not None and workers < 1:
         raise ValueError(f"--workers must be >= 1, got {workers}")
     return workers, remaining
+
+
+def _print_campaign_status(directory: str) -> int:
+    """Summarize a campaign store from its append-only index."""
+    from repro.campaign import summarize_index
+
+    summary = summarize_index(directory)
+    if not summary:
+        print(f"no campaign index found in {directory!r}", file=sys.stderr)
+        return 1
+    for name, counts in summary.items():
+        print(
+            f"{name:16} completed {counts['completed']:6}  "
+            f"cells {counts['cells']:6}  index entries {counts['entries']:6}"
+        )
+    return 0
 
 
 def _print_schemes() -> None:
@@ -100,6 +122,11 @@ def main(argv=None) -> int:
     if name == "schemes":
         _print_schemes()
         return 0
+    if name == "campaign-status":
+        if len(argv) != 2:
+            print("usage: python -m repro campaign-status CACHE_DIR", file=sys.stderr)
+            return 2
+        return _print_campaign_status(argv[1])
     if name == "all":
         run_all(workers=workers)
         return 0

@@ -1,0 +1,296 @@
+"""The domain-generic campaign executor.
+
+A *campaign* is a grid of independent, deterministic work items — Monte
+Carlo shards, performance cells, Row-Hammer sweep points — each fully
+described by a science fingerprint. This module owns every mechanism
+those campaigns share, exactly once:
+
+- **store scan** — verified results load from the :class:`ResultStore`
+  (rejections counted by reason) so a killed campaign resumes;
+- **fan-out** — pending items go to a ``ProcessPoolExecutor`` as
+  *groups* (``Campaign.group_key``), so engines whose items share
+  expensive per-process state (the perf engine's memoized content pass,
+  the sweep's per-attack simulation) keep that sharing under any worker
+  count;
+- **retry** — a worker crash (``BrokenProcessPool``) re-runs the
+  unfinished groups in a fresh pool with bounded exponential backoff;
+  a group that keeps killing workers eventually raises
+  :class:`CampaignError`. Deterministic exceptions raised *by* an item
+  propagate immediately (retrying them cannot help);
+- **determinism** — results are keyed by item index, every item is a
+  pure function of its fingerprint, and loaded cells are verified in
+  full, so the returned mapping is bit-identical for any worker count
+  and any completion order;
+- **progress** — a :class:`CampaignProgress` snapshot after every
+  completed or store-loaded item.
+
+Domain engines subclass :class:`Campaign` and stay thin: identity
+(key/fingerprint/file name), the ``run_item`` payload, and result
+(de)serialization. The campaign object is pickled to workers, so it
+should carry shared configuration only; bulky per-item inputs belong on
+the items themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.campaign.progress import CampaignProgress
+from repro.campaign.store import ResultStore, fingerprint_digest
+
+
+class CampaignError(RuntimeError):
+    """A work group exhausted its crash-retry budget."""
+
+
+class Campaign:
+    """Domain contract for one campaign family.
+
+    Required: :meth:`fingerprint` and :meth:`run_item`. Everything else
+    has a sensible default. Instances must be picklable (they travel to
+    pool workers) and ``run_item`` must be deterministic in the item's
+    fingerprint — that is what makes the store sound and the output
+    worker-count-invariant.
+    """
+
+    #: Campaign family name, recorded in the store's append-only index.
+    name = "campaign"
+
+    #: Whether completed cells are appended to the store index. Disabled
+    #: by stores whose exact directory contents are contractual.
+    index_results = True
+
+    # -- identity ----------------------------------------------------------------
+
+    def fingerprint(self, item) -> dict:
+        """Everything that determines the item's result, as a JSON dict."""
+        raise NotImplementedError
+
+    def item_key(self, item) -> Any:
+        """JSON-able stable identity recorded in the index."""
+        key = getattr(item, "key", None)
+        return list(key) if isinstance(key, tuple) else (key if key is not None else item.index)
+
+    def cell_name(self, item, fingerprint: dict) -> str:
+        """Store file name for the item (must be unique per campaign)."""
+        return f"{self.name}-{fingerprint_digest(fingerprint)}.json"
+
+    def group_key(self, item) -> Hashable:
+        """Items with equal keys run in the same worker task (one by
+        default: no grouping)."""
+        return item.index
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_item(self, item) -> Any:
+        """Compute one item's result (executes inside a worker)."""
+        raise NotImplementedError
+
+    # -- persistence -------------------------------------------------------------
+
+    def serialize_result(self, item, result) -> Any:
+        """Result -> JSON-able payload (identity by default)."""
+        return result
+
+    def deserialize_result(self, item, payload) -> Any:
+        """JSON payload -> result (identity by default). Raising
+        ``ValueError``/``KeyError``/``TypeError`` marks the cell corrupt
+        and recomputes it."""
+        return payload
+
+    # -- progress accounting -----------------------------------------------------
+
+    def item_units(self, item) -> int:
+        """Work units the item represents (rate/ETA denomination)."""
+        return 1
+
+    def result_failures(self, result) -> int:
+        """Failure events in a result (surfaced in progress snapshots)."""
+        return 0
+
+
+def _run_group(campaign: Campaign, items: Sequence[Any]) -> List[Any]:
+    """Worker entry point (module-level so it pickles): one group."""
+    return [(item.index, campaign.run_item(item)) for item in items]
+
+
+def run_campaign(
+    campaign: Campaign,
+    items: Sequence[Any],
+    *,
+    workers: int = 1,
+    store_dir: Optional[str] = None,
+    progress: Optional[Callable[[CampaignProgress], None]] = None,
+    max_attempts: int = 3,
+    backoff_s: float = 0.5,
+    max_backoff_s: float = 4.0,
+) -> Dict[int, Any]:
+    """Run every item; returns results keyed by ``item.index``.
+
+    ``workers == 1`` runs items in-process in index order (no pool),
+    which still exercises the store and progress reporting. The output
+    mapping is independent of worker count and completion order.
+    """
+    items = list(items)
+    fingerprints = {item.index: campaign.fingerprint(item) for item in items}
+    store = (
+        ResultStore(store_dir, index_results=campaign.index_results)
+        if store_dir
+        else None
+    )
+
+    results: Dict[int, Any] = {}
+    state = {
+        "from_store": 0,
+        "units_done": 0,
+        "failures": 0,
+        "rejected_corrupt": 0,
+        "rejected_stale": 0,
+    }
+    units_total = sum(campaign.item_units(item) for item in items)
+    started = time.monotonic()
+
+    def report() -> None:
+        if progress is None:
+            return
+        progress(
+            CampaignProgress(
+                items_done=len(results),
+                items_total=len(items),
+                items_from_store=state["from_store"],
+                units_done=state["units_done"],
+                units_total=units_total,
+                failures=state["failures"],
+                elapsed_s=time.monotonic() - started,
+                rejected_corrupt=state["rejected_corrupt"],
+                rejected_stale=state["rejected_stale"],
+            )
+        )
+
+    def account(item, result) -> None:
+        results[item.index] = result
+        state["units_done"] += campaign.item_units(item)
+        state["failures"] += campaign.result_failures(result)
+
+    pending: List[Any] = []
+    for item in items:
+        reason: Optional[str] = "absent"
+        payload = None
+        if store is not None:
+            payload, reason = store.load(
+                campaign.cell_name(item, fingerprints[item.index]),
+                fingerprints[item.index],
+            )
+        if reason is None:
+            try:
+                result = campaign.deserialize_result(item, payload)
+            except (ValueError, KeyError, TypeError, IndexError):
+                reason = "corrupt"
+        if reason is None:
+            account(item, result)
+            state["from_store"] += 1
+            report()
+        else:
+            if reason == "corrupt":
+                state["rejected_corrupt"] += 1
+            elif reason == "stale":
+                state["rejected_stale"] += 1
+            pending.append(item)
+
+    def finish(item, result) -> None:
+        account(item, result)
+        if store is not None:
+            fingerprint = fingerprints[item.index]
+            store.store(
+                campaign.cell_name(item, fingerprint),
+                fingerprint,
+                campaign.serialize_result(item, result),
+                campaign=campaign.name,
+                key=campaign.item_key(item),
+            )
+        report()
+
+    if workers == 1:
+        for item in pending:
+            finish(item, campaign.run_item(item))
+    elif pending:
+        _fan_out(
+            campaign,
+            pending,
+            workers,
+            finish,
+            max_attempts=max_attempts,
+            backoff_s=backoff_s,
+            max_backoff_s=max_backoff_s,
+        )
+
+    return results
+
+
+def _fan_out(
+    campaign: Campaign,
+    pending: Sequence[Any],
+    workers: int,
+    finish: Callable[[Any, Any], None],
+    *,
+    max_attempts: int,
+    backoff_s: float,
+    max_backoff_s: float,
+) -> None:
+    """Pool fan-out with group scheduling and crash retry."""
+    groups: Dict[Hashable, List[Any]] = {}
+    for item in pending:
+        groups.setdefault(campaign.group_key(item), []).append(item)
+
+    remaining = dict(groups)
+    attempts = {key: 0 for key in groups}
+    while remaining:
+        for key in remaining:
+            attempts[key] += 1
+        crashed = False
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(remaining))
+        ) as pool:
+            futures = {
+                pool.submit(_run_group, campaign, group): key
+                for key, group in remaining.items()
+            }
+            outstanding = set(futures)
+            while outstanding and not crashed:
+                completed, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in completed:
+                    key = futures[future]
+                    try:
+                        pairs = future.result()
+                    except BrokenExecutor:
+                        # The pool is dead; whatever is still in
+                        # `remaining` (this group included) retries in a
+                        # fresh pool. Groups already finished this round
+                        # were removed, so nothing double-finishes.
+                        crashed = True
+                        break
+                    by_index = {item.index: item for item in remaining[key]}
+                    for index, result in pairs:
+                        finish(by_index[index], result)
+                    del remaining[key]
+        if not remaining:
+            return
+        if not crashed:  # pragma: no cover - defensive
+            raise CampaignError("pool exited with unfinished groups")
+        exhausted = [key for key in remaining if attempts[key] >= max_attempts]
+        if exhausted:
+            raise CampaignError(
+                f"campaign {campaign.name!r}: groups {exhausted!r} crashed "
+                f"the worker pool {max_attempts} time(s); giving up"
+            )
+        retry = max(attempts[key] for key in remaining)
+        time.sleep(min(backoff_s * (2 ** (retry - 1)), max_backoff_s))

@@ -1,0 +1,144 @@
+"""Shared campaign progress/worker machinery.
+
+Every campaign engine in the repo — the sharded Monte-Carlo runs of
+:mod:`repro.faultsim.parallel`, the performance-cell grids of
+:mod:`repro.perf.campaign`, and the Row-Hammer attack sweeps of
+:mod:`repro.rowhammer.sweep` — reports progress the same way: a snapshot
+object handed to a user callback after every completed work item, with a
+rate, an ETA, a completed fraction, and a one-line ``describe()``. The
+*math* for all of that lives here exactly once (:class:`ProgressBase`);
+the domain modules only declare their field *names* (``shards_done`` vs
+``cells_done``) as thin dataclass subclasses, so a refactor of the
+accounting cannot drift between engines.
+
+Worker-count resolution is likewise shared: explicit argument > config
+field > domain-specific environment variable (``REPRO_MC_WORKERS``,
+``REPRO_PERF_WORKERS``) > the generic ``REPRO_WORKERS`` > 1.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: Generic worker-count fallback consulted by *every* campaign engine
+#: when neither the call, the config, nor the engine's own environment
+#: variable pins a count. Lets one shell export parallelize all three
+#: campaign families at once.
+GENERIC_WORKERS_ENV = "REPRO_WORKERS"
+
+#: Every campaign's progress callback receives one snapshot per
+#: completed (or store-loaded) work item.
+ProgressCallback = Callable[["ProgressBase"], None]
+
+
+def _env_workers(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else None
+
+
+def resolve_workers(
+    workers: Optional[int] = None,
+    config_workers: Optional[int] = None,
+    env: Optional[str] = None,
+) -> int:
+    """Resolve a worker count with the repo-wide precedence.
+
+    Explicit argument > ``config_workers`` > the engine's own ``env``
+    variable > :data:`GENERIC_WORKERS_ENV` > 1 (in-process, no pool).
+    """
+    if workers is None:
+        workers = config_workers
+    if workers is None and env:
+        workers = _env_workers(env)
+    if workers is None:
+        workers = _env_workers(GENERIC_WORKERS_ENV)
+    workers = 1 if workers is None else int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+class ProgressBase:
+    """Rate/ETA/fraction accounting over generic progress attributes.
+
+    Subclasses provide (as dataclass fields or alias properties):
+
+    - ``items_done`` / ``items_total`` — completed vs. planned work items
+      (shards, cells, sweep points);
+    - ``items_from_store`` — items satisfied from the result store
+      (checkpoints / cache) instead of computed;
+    - ``units_done`` / ``units_total`` — the finer-grained work measure
+      the rate and ETA are quoted in (modules for the Monte-Carlo
+      engine; identical to items elsewhere);
+    - ``elapsed_s`` — wall-clock seconds since the campaign started;
+    - ``rejected_corrupt`` / ``rejected_stale`` — store cells that were
+      present but unusable (unparseable vs. fingerprint/version
+      mismatch), i.e. *why* a resume recomputed work.
+
+    Class knobs tune the ``describe()`` line per domain: the item noun,
+    the rate noun, and the rate's format spec.
+    """
+
+    ITEM_NOUN = "item"
+    RATE_NOUN: Optional[str] = None  # defaults to ITEM_NOUN + "s"
+    RATE_FMT = ",.0f"
+
+    @property
+    def rate(self) -> float:
+        """Work units completed per second (0 when unknown)."""
+        return self.units_done / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def eta_s(self) -> float:
+        """Estimated seconds until completion (0 when done or unknown)."""
+        rate = self.rate
+        remaining = self.units_total - self.units_done
+        return remaining / rate if rate > 0 and remaining > 0 else 0.0
+
+    @property
+    def fraction_done(self) -> float:
+        return self.units_done / self.units_total if self.units_total else 1.0
+
+    def _trailer(self) -> str:
+        """Domain-specific tail of the describe line."""
+        return f"cached {self.items_from_store}"
+
+    def describe(self) -> str:
+        """One-line human summary (used by CLI/script progress printers)."""
+        rate_noun = self.RATE_NOUN or f"{self.ITEM_NOUN}s"
+        text = (
+            f"{self.ITEM_NOUN} {self.items_done}/{self.items_total} "
+            f"({self.fraction_done:.0%}) "
+            f"{self.rate:{self.RATE_FMT}} {rate_noun}/s "
+            f"eta {self.eta_s:.0f}s "
+            f"{self._trailer()}"
+        )
+        rejected = self.rejected_corrupt + self.rejected_stale
+        if rejected:
+            text += (
+                f" rejected {self.rejected_corrupt} corrupt"
+                f"/{self.rejected_stale} stale"
+            )
+        return text
+
+
+@dataclass
+class CampaignProgress(ProgressBase):
+    """The generic snapshot the core engine emits.
+
+    Domain adapters translate it into their own field vocabulary before
+    invoking user callbacks; campaigns without legacy vocabulary (the
+    Row-Hammer sweep) hand it to callers as-is.
+    """
+
+    items_done: int = 0
+    items_total: int = 0
+    items_from_store: int = 0
+    units_done: int = 0
+    units_total: int = 0
+    failures: int = 0
+    elapsed_s: float = 0.0
+    rejected_corrupt: int = 0
+    rejected_stale: int = 0

@@ -31,21 +31,20 @@ from repro.experiments import (
     table4_resiliency,
     table5_storage,
 )
+from repro.campaign import ProgressBase
 from repro.core import registry
-from repro.faultsim.parallel import ProgressStats
-from repro.perf.campaign import ProgressStats as PerfProgressStats
 from repro.perf.model import PerfConfig
+from repro.rowhammer import sweep as hammer_sweep
 
 
-def _print_progress(stats: ProgressStats) -> None:
-    """Carriage-return progress line for interactive parallel runs."""
-    end = "\n" if stats.shards_done == stats.shards_total else "\r"
-    print(f"  {stats.describe()}", end=end, file=sys.stderr, flush=True)
+def _print_progress(stats: ProgressBase) -> None:
+    """Carriage-return progress line for interactive parallel runs.
 
-
-def _print_perf_progress(stats: PerfProgressStats) -> None:
-    """Same, for the performance-campaign engine's cell grid."""
-    end = "\n" if stats.cells_done == stats.cells_total else "\r"
+    Works for every campaign family: the shared :class:`ProgressBase`
+    interface (``items_done`` / ``items_total`` / ``describe``) is all it
+    needs, whatever the domain calls its fields.
+    """
+    end = "\n" if stats.items_done == stats.items_total else "\r"
     print(f"  {stats.describe()}", end=end, file=sys.stderr, flush=True)
 
 
@@ -124,7 +123,7 @@ def _fig7(
     cache_dir: Optional[str] = None,
     engine: Optional[str] = None,
 ) -> None:
-    progress = _print_perf_progress if workers and workers > 1 else None
+    progress = _print_progress if workers and workers > 1 else None
     perf_figures.report_per_workload(
         perf_figures.run_fig7(
             workloads=_PERF_WORKLOADS,
@@ -144,7 +143,7 @@ def _fig12(
     cache_dir: Optional[str] = None,
     engine: Optional[str] = None,
 ) -> None:
-    progress = _print_perf_progress if workers and workers > 1 else None
+    progress = _print_progress if workers and workers > 1 else None
     perf_figures.report_per_workload(
         perf_figures.run_fig12(
             workloads=_PERF_WORKLOADS,
@@ -163,7 +162,7 @@ def _fig13(
     cache_dir: Optional[str] = None,
     engine: Optional[str] = None,
 ) -> None:
-    progress = _print_perf_progress if workers and workers > 1 else None
+    progress = _print_progress if workers and workers > 1 else None
     perf_figures.report_fig13(
         perf_figures.run_fig13(
             latencies=(8, 40, 80),
@@ -173,6 +172,22 @@ def _fig13(
             cache_dir=cache_dir,
             progress=progress,
             engine=engine,
+        )
+    )
+
+
+def _hammer_sweep(
+    workers: Optional[int] = None,
+    scheme: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+) -> None:
+    """The attack-sweep campaign: attacks x mitigations x organizations."""
+    progress = _print_progress if workers and workers > 1 else None
+    schemes = (scheme,) if scheme else hammer_sweep.DEFAULT_SCHEMES
+    cells = hammer_sweep.plan_sweep(schemes=schemes)
+    hammer_sweep.report(
+        hammer_sweep.run_sweep(
+            cells, workers=workers, cache_dir=cache_dir, progress=progress
         )
     )
 
@@ -210,6 +225,7 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "fig11": _fig7,
     "fig12": _fig12,
     "fig13": _fig13,
+    "hammer-sweep": _hammer_sweep,
     "sec4b": _sec4b,
     "sec4c": _sec4c,
     "sec7": _sec7,
@@ -219,7 +235,7 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
 
 #: Experiments that accept ``--scheme NAME`` (they instantiate one or
 #: more organizations from the scheme registry).
-SCHEME_AWARE = frozenset({"fig1c", "fig6", "fig7", "fig10", "fig11"})
+SCHEME_AWARE = frozenset({"fig1c", "fig6", "fig7", "fig10", "fig11", "hammer-sweep"})
 
 #: Experiments that accept ``--engine fast|reference``: the Monte-Carlo
 #: reliability experiments (``REPRO_FAULTSIM``;
@@ -231,8 +247,9 @@ ENGINE_AWARE = frozenset({"fig6", "fig7", "fig10", "fig11", "fig12", "fig13"})
 _PERF_ENGINE = frozenset({"fig7", "fig11", "fig12", "fig13"})
 
 #: Experiments that accept ``--cache-dir PATH`` (the cycle-level
-#: performance campaigns; see :mod:`repro.perf.campaign`).
-CACHE_AWARE = frozenset({"fig7", "fig11", "fig12", "fig13"})
+#: performance campaigns and the Row-Hammer attack sweep; see
+#: :mod:`repro.perf.campaign` and :mod:`repro.rowhammer.sweep`).
+CACHE_AWARE = frozenset({"fig7", "fig11", "fig12", "fig13", "hammer-sweep"})
 
 
 def experiment_names() -> List[str]:

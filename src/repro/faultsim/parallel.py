@@ -1,7 +1,7 @@
 """Sharded, checkpointable Monte-Carlo engine.
 
 Splits the module population into deterministic shards and runs them
-across a :class:`concurrent.futures.ProcessPoolExecutor`. Because every
+through the generic campaign core (:mod:`repro.campaign`). Because every
 module draws from its own seed stream (``derive_seed(seed, 0x51A7,
 global_index)``) and the per-module fault counts come from one batched
 Poisson draw (:func:`repro.faultsim.montecarlo.draw_fault_counts`), a
@@ -10,35 +10,40 @@ the sequential loop would have, and merging the shard results
 (:meth:`ReliabilityResult.merge`) reproduces :func:`simulate`
 **bit-for-bit** — worker count and shard count never change the science.
 
-Robustness and observability:
+Robustness and observability (all supplied by the shared core):
 
-- ``checkpoint_dir`` writes one JSON file per completed shard; a killed
-  run restarted with the same config loads verified checkpoints and only
-  recomputes the missing (or corrupted / mismatching) shards.
+- ``checkpoint_dir`` writes one fingerprint-verified JSON file per
+  completed shard through the unified :class:`repro.campaign.ResultStore`;
+  a killed run restarted with the same config loads verified checkpoints
+  and only recomputes the missing (or corrupted / stale) shards.
 - ``progress`` receives a :class:`ProgressStats` snapshot after every
-  shard completes (modules/sec, ETA, failures so far).
+  shard completes (modules/sec, ETA, failures so far, and — when a
+  resume rejected checkpoints — why: corrupt vs. stale).
 
 Worker-count resolution order: explicit argument > ``config.workers`` >
-``REPRO_MC_WORKERS`` environment variable > 1 (in-process, no pool).
+``REPRO_MC_WORKERS`` > the generic ``REPRO_WORKERS`` > 1 (in-process).
 
 The engine (scalar reference loop vs. the vectorized fast path of
-:mod:`repro.faultsim.fastpath`) is resolved once per run and handed to
-every shard; both engines are shard-invariant, and the checkpoint
-fingerprint records the engine so a resume never mixes modes.
+:mod:`repro.faultsim.fastpath`) is resolved once per run and recorded in
+every shard's fingerprint; both engines are shard-invariant, and a
+resume never mixes modes.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.campaign import (
+    Campaign,
+    CampaignProgress,
+    ProgressBase,
+    run_campaign,
+)
+from repro.campaign import resolve_workers as _resolve_workers
+from repro.campaign.store import STORE_VERSION
 from repro.faultsim import fastpath
 from repro.faultsim.geometry import ModuleGeometry
 from repro.faultsim.montecarlo import (
@@ -52,11 +57,12 @@ from repro.faultsim.montecarlo import (
 )
 
 #: Environment variable consulted when neither the call nor the config
-#: pins a worker count (see the CLI's ``--workers``).
+#: pins a worker count (see the CLI's ``--workers``); the generic
+#: ``REPRO_WORKERS`` is the next fallback.
 WORKERS_ENV = "REPRO_MC_WORKERS"
 
-#: Checkpoint schema version; bumped if the payload layout changes.
-CHECKPOINT_VERSION = 1
+#: Checkpoint schema version (the unified store's cell version).
+CHECKPOINT_VERSION = STORE_VERSION
 
 ProgressCallback = Callable[["ProgressStats"], None]
 
@@ -75,8 +81,13 @@ class Shard:
 
 
 @dataclass
-class ProgressStats:
-    """Snapshot handed to the progress callback after each shard."""
+class ProgressStats(ProgressBase):
+    """Snapshot handed to the progress callback after each shard.
+
+    A thin naming layer over :class:`repro.campaign.ProgressBase`: the
+    rate/ETA/fraction accounting lives in the core, shared with every
+    other campaign engine.
+    """
 
     shards_done: int
     shards_total: int
@@ -85,47 +96,30 @@ class ProgressStats:
     modules_total: int
     failures_so_far: int
     elapsed_s: float
+    rejected_corrupt: int = 0
+    rejected_stale: int = 0
 
-    @property
-    def modules_per_sec(self) -> float:
-        return self.modules_done / self.elapsed_s if self.elapsed_s > 0 else 0.0
+    ITEM_NOUN = "shard"
+    RATE_NOUN = "modules"
 
-    @property
-    def eta_s(self) -> float:
-        """Estimated seconds until completion (0 when done or unknown)."""
-        rate = self.modules_per_sec
-        remaining = self.modules_total - self.modules_done
-        return remaining / rate if rate > 0 and remaining > 0 else 0.0
+    items_done = property(lambda self: self.shards_done)
+    items_total = property(lambda self: self.shards_total)
+    items_from_store = property(lambda self: self.shards_from_checkpoint)
+    units_done = property(lambda self: self.modules_done)
+    units_total = property(lambda self: self.modules_total)
+    modules_per_sec = property(lambda self: self.rate)
 
-    @property
-    def fraction_done(self) -> float:
-        return self.modules_done / self.modules_total if self.modules_total else 1.0
-
-    def describe(self) -> str:
-        """One-line human summary (used by CLI/script progress printers)."""
-        return (
-            f"shard {self.shards_done}/{self.shards_total} "
-            f"({self.fraction_done:.0%}) "
-            f"{self.modules_per_sec:,.0f} modules/s "
-            f"eta {self.eta_s:.0f}s "
-            f"failures {self.failures_so_far}"
-        )
+    def _trailer(self) -> str:
+        return f"failures {self.failures_so_far}"
 
 
 def resolve_workers(
     workers: Optional[int] = None, config: Optional[MonteCarloConfig] = None
 ) -> int:
-    """Explicit argument > config > ``REPRO_MC_WORKERS`` env > 1."""
-    if workers is None and config is not None:
-        workers = config.workers
-    if workers is None:
-        env = os.environ.get(WORKERS_ENV, "").strip()
-        if env:
-            workers = int(env)
-    workers = 1 if workers is None else int(workers)
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    return workers
+    """Explicit > config > ``REPRO_MC_WORKERS`` > ``REPRO_WORKERS`` > 1."""
+    return _resolve_workers(
+        workers, config.workers if config is not None else None, env=WORKERS_ENV
+    )
 
 
 def plan_shards(n_modules: int, n_shards: int) -> List[Shard]:
@@ -147,84 +141,91 @@ def plan_shards(n_modules: int, n_shards: int) -> List[Shard]:
     return shards
 
 
-def _checkpoint_path(checkpoint_dir: str, shard: Shard) -> str:
-    return os.path.join(checkpoint_dir, f"shard-{shard.index:05d}.json")
+@dataclass(frozen=True, eq=False)
+class _ShardItem:
+    """A shard plus its slice of the batched Poisson fault counts.
 
-
-def _write_checkpoint(
-    checkpoint_dir: str,
-    shard: Shard,
-    fingerprint: dict,
-    records: Sequence[FailureRecord],
-) -> None:
-    """Atomically persist one shard's failure records."""
-    os.makedirs(checkpoint_dir, exist_ok=True)
-    payload = {
-        "version": CHECKPOINT_VERSION,
-        "shard": {"index": shard.index, "lo": shard.lo, "hi": shard.hi},
-        "fingerprint": fingerprint,
-        "records": [r.to_json() for r in records],
-    }
-    path = _checkpoint_path(checkpoint_dir, shard)
-    fd, tmp_path = tempfile.mkstemp(
-        dir=checkpoint_dir, prefix=f".shard-{shard.index:05d}.", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp_path, path)
-    except BaseException:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
-        raise
-
-
-def _load_checkpoint(
-    checkpoint_dir: str, shard: Shard, fingerprint: dict
-) -> Optional[List[FailureRecord]]:
-    """Load one shard's records; None if absent, corrupted, or stale.
-
-    Any failure to parse/verify falls back to recomputing the shard —
-    a truncated file from a killed run must never poison a resume.
+    The counts ride on the item (not the campaign) so a pool task ships
+    only the modules it simulates, never the whole population's array.
     """
-    path = _checkpoint_path(checkpoint_dir, shard)
-    try:
-        with open(path) as handle:
-            payload = json.load(handle)
-        if payload["version"] != CHECKPOINT_VERSION:
-            return None
-        if payload["fingerprint"] != fingerprint:
-            return None
-        if payload["shard"] != {"index": shard.index, "lo": shard.lo, "hi": shard.hi}:
-            return None
-        return [FailureRecord.from_json(item) for item in payload["records"]]
-    except (OSError, ValueError, KeyError, TypeError):
-        return None
+
+    shard: Shard
+    counts: np.ndarray
+
+    @property
+    def index(self) -> int:
+        return self.shard.index
+
+    @property
+    def key(self):
+        return (self.shard.index, self.shard.lo, self.shard.hi)
 
 
-def _run_shard(
-    evaluator,
-    geometry: ModuleGeometry,
-    config: MonteCarloConfig,
-    shard: Shard,
-    fault_counts: np.ndarray,
-    engine: str = "reference",
-) -> Tuple[int, List[FailureRecord]]:
-    """Worker entry point (module-level so it pickles).
+class _FaultSimCampaign(Campaign):
+    """Monte-Carlo reliability as a :class:`repro.campaign.Campaign`.
 
-    ``engine`` is resolved once by the coordinator and passed explicitly
-    so worker processes never re-consult mutable process state
-    (``REPRO_FAULTSIM`` / ``set_engine``) — every shard of one run uses
-    one engine. Both engines are shard-invariant, so the merged result
-    equals the corresponding sequential run.
+    Checkpoint directories keep their historical contract — exactly one
+    ``shard-NNNNN.json`` per shard and nothing else — so the store's
+    index is disabled; checkpoints are per-run scratch, not a shared
+    result cache.
     """
-    simulate_fn = (
-        fastpath.simulate_range_fast if engine == "fast" else simulate_range
-    )
-    records = simulate_fn(
-        evaluator, geometry, config, fault_counts, shard.lo, shard.hi
-    )
-    return shard.index, records
+
+    name = "faultsim"
+    index_results = False
+
+    def __init__(
+        self,
+        evaluator,
+        geometry: ModuleGeometry,
+        config: MonteCarloConfig,
+        engine: str,
+        base_fingerprint: dict,
+    ):
+        self.evaluator = evaluator
+        self.geometry = geometry
+        self.config = config
+        self.engine = engine
+        self.base_fingerprint = base_fingerprint
+
+    def fingerprint(self, item: _ShardItem) -> dict:
+        shard = item.shard
+        return {
+            **self.base_fingerprint,
+            "shard": {"index": shard.index, "lo": shard.lo, "hi": shard.hi},
+        }
+
+    def cell_name(self, item: _ShardItem, fingerprint: dict) -> str:
+        return f"shard-{item.index:05d}.json"
+
+    def run_item(self, item: _ShardItem) -> List[FailureRecord]:
+        # ``engine`` was resolved once by the coordinator and travels
+        # with the campaign, so worker processes never re-consult
+        # mutable process state (``REPRO_FAULTSIM`` / ``set_engine``).
+        simulate_fn = (
+            fastpath.simulate_range_fast
+            if self.engine == "fast"
+            else simulate_range
+        )
+        return simulate_fn(
+            self.evaluator,
+            self.geometry,
+            self.config,
+            item.counts,
+            item.shard.lo,
+            item.shard.hi,
+        )
+
+    def serialize_result(self, item, records: Sequence[FailureRecord]):
+        return [record.to_json() for record in records]
+
+    def deserialize_result(self, item, payload) -> List[FailureRecord]:
+        return [FailureRecord.from_json(entry) for entry in payload]
+
+    def item_units(self, item: _ShardItem) -> int:
+        return item.shard.n_modules
+
+    def result_failures(self, records) -> int:
+        return len(records)
 
 
 def simulate_parallel(
@@ -261,79 +262,33 @@ def simulate_parallel(
     plan = plan_shards(config.n_modules, shards)
     fault_counts = draw_fault_counts(config, geometry)
 
-    shard_records: Dict[int, List[FailureRecord]] = {}
-    started = time.monotonic()
-    from_checkpoint = 0
+    campaign = _FaultSimCampaign(evaluator, geometry, config, engine, fingerprint)
+    items = [
+        _ShardItem(shard, fault_counts[shard.lo : shard.hi]) for shard in plan
+    ]
 
-    def report() -> None:
-        if progress is None:
-            return
-        done = [plan[i] for i in shard_records]
+    def translate(snap: CampaignProgress) -> None:
         progress(
             ProgressStats(
-                shards_done=len(shard_records),
-                shards_total=len(plan),
-                shards_from_checkpoint=from_checkpoint,
-                modules_done=sum(s.n_modules for s in done),
-                modules_total=config.n_modules,
-                failures_so_far=sum(len(r) for r in shard_records.values()),
-                elapsed_s=time.monotonic() - started,
+                shards_done=snap.items_done,
+                shards_total=snap.items_total,
+                shards_from_checkpoint=snap.items_from_store,
+                modules_done=snap.units_done,
+                modules_total=snap.units_total,
+                failures_so_far=snap.failures,
+                elapsed_s=snap.elapsed_s,
+                rejected_corrupt=snap.rejected_corrupt,
+                rejected_stale=snap.rejected_stale,
             )
         )
 
-    pending: List[Shard] = []
-    for shard in plan:
-        cached = (
-            _load_checkpoint(checkpoint_dir, shard, fingerprint)
-            if checkpoint_dir
-            else None
-        )
-        if cached is not None:
-            shard_records[shard.index] = cached
-            from_checkpoint += 1
-            report()
-        else:
-            pending.append(shard)
-
-    def finish(shard: Shard, records: List[FailureRecord]) -> None:
-        shard_records[shard.index] = records
-        if checkpoint_dir:
-            _write_checkpoint(checkpoint_dir, shard, fingerprint, records)
-        report()
-
-    if workers == 1:
-        for shard in pending:
-            _, records = _run_shard(
-                evaluator,
-                geometry,
-                config,
-                shard,
-                fault_counts[shard.lo : shard.hi],
-                engine,
-            )
-            finish(shard, records)
-    elif pending:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            futures = {
-                pool.submit(
-                    _run_shard,
-                    evaluator,
-                    geometry,
-                    config,
-                    shard,
-                    fault_counts[shard.lo : shard.hi],
-                    engine,
-                ): shard
-                for shard in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                completed, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in completed:
-                    _, records = future.result()
-                    finish(futures[future], records)
+    shard_records = run_campaign(
+        campaign,
+        items,
+        workers=workers,
+        store_dir=checkpoint_dir,
+        progress=translate if progress is not None else None,
+    )
 
     parts = [
         build_result(scheme, config, shard_records[s.index], n_modules=s.n_modules)

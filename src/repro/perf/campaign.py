@@ -4,38 +4,46 @@ The cycle-level model simulates one ``(workload, organization, seed)``
 cell at a time; a figure is a grid of such cells. Every cell is
 independent — the :class:`~repro.cpu.system.System` seeds its trace
 generators from ``derive_seed(seed, ..., core)`` and shares no state
-across cells — so the grid fans perfectly over a
-:class:`~concurrent.futures.ProcessPoolExecutor` and the merged result
-reproduces the sequential loop of :func:`repro.perf.model.run_comparison`
+across cells — so the grid fans perfectly over the generic campaign
+core (:mod:`repro.campaign`) and the merged result reproduces the
+sequential loop of :func:`repro.perf.model.run_comparison`
 **bit-for-bit** (worker count never changes the science). This is the
-performance-campaign sibling of :mod:`repro.faultsim.parallel`.
+performance-campaign sibling of :mod:`repro.faultsim.parallel`; both
+are thin adapters over the same executor, store, and progress core.
 
-Robustness and observability:
+Robustness and observability (all supplied by the shared core):
 
-- ``cache_dir`` persists one JSON file per completed cell, keyed by a
-  *science fingerprint* (workload profile, organization, scale knobs,
-  and every code-level constant that determines the cycle counts). A
-  killed or re-scoped campaign reloads verified cells and recomputes
-  only the missing (or corrupted / mismatching) ones.
+- ``cache_dir`` persists one JSON file per completed cell through the
+  unified :class:`repro.campaign.ResultStore`, keyed by a *science
+  fingerprint* (workload profile, organization, scale knobs, and every
+  code-level constant that determines the cycle counts). A killed or
+  re-scoped campaign reloads verified cells and recomputes only the
+  missing (or corrupted / stale) ones; completed cells are also listed
+  in the store's append-only index (``python -m repro campaign-status``).
 - ``progress`` receives a :class:`ProgressStats` snapshot after every
-  cell completes (cells/sec, ETA, cache hits so far).
+  cell completes (cells/sec, ETA, cache hits so far, and — when cells
+  were rejected — why: corrupt vs. stale).
 
 Worker-count resolution order: explicit argument > ``config.workers`` >
-``REPRO_PERF_WORKERS`` environment variable > 1 (in-process, no pool).
+``REPRO_PERF_WORKERS`` > the generic ``REPRO_WORKERS`` > 1 (in-process).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import json
 import os
-import tempfile
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign import (
+    Campaign,
+    CampaignProgress,
+    ProgressBase,
+    fingerprint_digest,
+    run_campaign,
+)
+from repro.campaign import resolve_workers as _resolve_workers
+from repro.campaign.store import STORE_VERSION
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.prefetcher import StreamPrefetcher
 from repro.cpu.core import CoreConfig
@@ -55,11 +63,12 @@ from repro.perf.model import (
 from repro.perf.organizations import BASELINE_ECC, PerfOrganization
 
 #: Environment variable consulted when neither the call nor the config
-#: pins a worker count (see the CLI's ``--workers``).
+#: pins a worker count (see the CLI's ``--workers``); the generic
+#: ``REPRO_WORKERS`` is the next fallback.
 WORKERS_ENV = "REPRO_PERF_WORKERS"
 
-#: Cell-cache schema version; bumped if the payload layout changes.
-CACHE_VERSION = 1
+#: Cell-cache schema version (the unified store's cell version).
+CACHE_VERSION = STORE_VERSION
 
 #: Bumped whenever the cycle-level model's *behaviour* changes (new
 #: timing constraint, bug fix, different warmup discipline, ...). It
@@ -87,54 +96,40 @@ class CampaignCell:
 
 
 @dataclass
-class ProgressStats:
-    """Snapshot handed to the progress callback after each cell."""
+class ProgressStats(ProgressBase):
+    """Snapshot handed to the progress callback after each cell.
+
+    A thin naming layer over :class:`repro.campaign.ProgressBase`: the
+    rate/ETA/fraction accounting lives in the core, shared with every
+    other campaign engine.
+    """
 
     cells_done: int
     cells_total: int
     cells_from_cache: int
     elapsed_s: float
+    rejected_corrupt: int = 0
+    rejected_stale: int = 0
 
-    @property
-    def cells_per_sec(self) -> float:
-        return self.cells_done / self.elapsed_s if self.elapsed_s > 0 else 0.0
+    ITEM_NOUN = "cell"
+    RATE_NOUN = "cells"
+    RATE_FMT = ".2f"
 
-    @property
-    def eta_s(self) -> float:
-        """Estimated seconds until completion (0 when done or unknown)."""
-        rate = self.cells_per_sec
-        remaining = self.cells_total - self.cells_done
-        return remaining / rate if rate > 0 and remaining > 0 else 0.0
-
-    @property
-    def fraction_done(self) -> float:
-        return self.cells_done / self.cells_total if self.cells_total else 1.0
-
-    def describe(self) -> str:
-        """One-line human summary (used by CLI/script progress printers)."""
-        return (
-            f"cell {self.cells_done}/{self.cells_total} "
-            f"({self.fraction_done:.0%}) "
-            f"{self.cells_per_sec:.2f} cells/s "
-            f"eta {self.eta_s:.0f}s "
-            f"cached {self.cells_from_cache}"
-        )
+    items_done = property(lambda self: self.cells_done)
+    items_total = property(lambda self: self.cells_total)
+    items_from_store = property(lambda self: self.cells_from_cache)
+    units_done = property(lambda self: self.cells_done)
+    units_total = property(lambda self: self.cells_total)
+    cells_per_sec = property(lambda self: self.rate)
 
 
 def resolve_workers(
     workers: Optional[int] = None, config: Optional[PerfConfig] = None
 ) -> int:
-    """Explicit argument > config > ``REPRO_PERF_WORKERS`` env > 1."""
-    if workers is None and config is not None:
-        workers = config.workers
-    if workers is None:
-        env = os.environ.get(WORKERS_ENV, "").strip()
-        if env:
-            workers = int(env)
-    workers = 1 if workers is None else int(workers)
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    return workers
+    """Explicit > config > ``REPRO_PERF_WORKERS`` > ``REPRO_WORKERS`` > 1."""
+    return _resolve_workers(
+        workers, config.workers if config is not None else None, env=WORKERS_ENV
+    )
 
 
 # -- science fingerprint ---------------------------------------------------------
@@ -190,67 +185,22 @@ def cell_fingerprint(cell: CampaignCell, config: PerfConfig) -> dict:
 
 
 def _fingerprint_digest(fingerprint: dict) -> str:
-    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    return fingerprint_digest(fingerprint)
 
 
-# -- per-cell result cache -------------------------------------------------------
+def _cell_name(fingerprint: dict) -> str:
+    return f"cell-{fingerprint_digest(fingerprint)}.json"
 
 
 def _cache_path(cache_dir: str, fingerprint: dict) -> str:
-    return os.path.join(cache_dir, f"cell-{_fingerprint_digest(fingerprint)}.json")
+    return os.path.join(cache_dir, _cell_name(fingerprint))
 
 
-def _write_cell(
-    cache_dir: str, fingerprint: dict, result: SystemResult
-) -> None:
-    """Atomically persist one cell's result (tmp file + rename)."""
-    os.makedirs(cache_dir, exist_ok=True)
-    payload = {
-        "version": CACHE_VERSION,
-        "fingerprint": fingerprint,
-        "result": result.to_json(),
-    }
-    path = _cache_path(cache_dir, fingerprint)
-    fd, tmp_path = tempfile.mkstemp(
-        dir=cache_dir, prefix=".cell.", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp_path, path)
-    except BaseException:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
-        raise
+# -- the campaign adapter --------------------------------------------------------
 
 
-def _load_cell(cache_dir: str, fingerprint: dict) -> Optional[SystemResult]:
-    """Load one cell's result; None if absent, corrupted, or stale.
-
-    The *full* fingerprint stored in the file is compared, not just the
-    filename digest, so a hash collision or a hand-edited file can never
-    smuggle in a result computed under different science. Any parse
-    failure falls back to recomputing the cell.
-    """
-    path = _cache_path(cache_dir, fingerprint)
-    try:
-        with open(path) as handle:
-            payload = json.load(handle)
-        if payload["version"] != CACHE_VERSION:
-            return None
-        if payload["fingerprint"] != fingerprint:
-            return None
-        return SystemResult.from_json(payload["result"])
-    except (OSError, ValueError, KeyError, TypeError):
-        return None
-
-
-# -- the engine ------------------------------------------------------------------
-
-
-def _run_cell(cell: CampaignCell, config: PerfConfig) -> Tuple[int, SystemResult]:
-    """Worker entry point (module-level so it pickles).
+def _run_cell(cell: CampaignCell, config: PerfConfig) -> SystemResult:
+    """Simulate one cell (runs inside a worker).
 
     Rebuilds the per-cell :class:`PerfConfig` so the worker depends only
     on picklable inputs; the cell's own seed overrides the campaign
@@ -265,22 +215,43 @@ def _run_cell(cell: CampaignCell, config: PerfConfig) -> Tuple[int, SystemResult
         seed=cell.seed,
         engine=config.engine,
     )
-    result = run_workload(profile(cell.workload), cell.organization, cell_config)
-    return cell.index, result
+    return run_workload(profile(cell.workload), cell.organization, cell_config)
 
 
-def _run_cell_group(
-    cells: Sequence[CampaignCell], config: PerfConfig
-) -> List[Tuple[int, SystemResult]]:
-    """Run a (workload, seed) group of cells in one worker.
+class _PerfCampaign(Campaign):
+    """The performance grid as a :class:`repro.campaign.Campaign`.
 
-    The fast engine memoizes the org-independent content pass per
+    The unit of pool distribution is a ``(workload, seed)`` group, not a
+    cell: the fast engine memoizes the org-independent content pass per
     process, so every organization of a workload must run in the same
     worker to share it; splitting a group across the pool recomputes the
     pass once per organization, which on the Figure 7 grid roughly
-    doubles the parallel campaign's total work.
+    doubles the parallel campaign's total work. Grouping only changes
+    which worker runs a cell, never its result.
     """
-    return [_run_cell(cell, config) for cell in cells]
+
+    name = "perf"
+
+    def __init__(self, config: PerfConfig):
+        self.config = config
+
+    def fingerprint(self, cell: CampaignCell) -> dict:
+        return cell_fingerprint(cell, self.config)
+
+    def cell_name(self, cell: CampaignCell, fingerprint: dict) -> str:
+        return _cell_name(fingerprint)
+
+    def group_key(self, cell: CampaignCell):
+        return (cell.workload, cell.seed)
+
+    def run_item(self, cell: CampaignCell) -> SystemResult:
+        return _run_cell(cell, self.config)
+
+    def serialize_result(self, cell, result: SystemResult):
+        return result.to_json()
+
+    def deserialize_result(self, cell, payload) -> SystemResult:
+        return SystemResult.from_json(payload)
 
 
 def run_cells(
@@ -310,68 +281,25 @@ def run_cells(
     if cache_dir is None:
         cache_dir = config.cache_dir
 
-    fingerprints = {cell.index: cell_fingerprint(cell, config) for cell in cells}
-    results: Dict[int, SystemResult] = {}
-    started = time.monotonic()
-    from_cache = 0
-
-    def report() -> None:
-        if progress is None:
-            return
+    def translate(snap: CampaignProgress) -> None:
         progress(
             ProgressStats(
-                cells_done=len(results),
-                cells_total=len(cells),
-                cells_from_cache=from_cache,
-                elapsed_s=time.monotonic() - started,
+                cells_done=snap.items_done,
+                cells_total=snap.items_total,
+                cells_from_cache=snap.items_from_store,
+                elapsed_s=snap.elapsed_s,
+                rejected_corrupt=snap.rejected_corrupt,
+                rejected_stale=snap.rejected_stale,
             )
         )
 
-    pending: List[CampaignCell] = []
-    for cell in cells:
-        cached = (
-            _load_cell(cache_dir, fingerprints[cell.index]) if cache_dir else None
-        )
-        if cached is not None:
-            results[cell.index] = cached
-            from_cache += 1
-            report()
-        else:
-            pending.append(cell)
-
-    def finish(cell: CampaignCell, result: SystemResult) -> None:
-        results[cell.index] = result
-        if cache_dir:
-            _write_cell(cache_dir, fingerprints[cell.index], result)
-        report()
-
-    if workers == 1:
-        for cell in pending:
-            _, result = _run_cell(cell, config)
-            finish(cell, result)
-    elif pending:
-        # The unit of distribution is a (workload, seed) group, not a
-        # cell: see _run_cell_group. Grouping only changes which worker
-        # runs a cell, never its result — each cell still simulates from
-        # its own fingerprinted config.
-        groups: Dict[Tuple[str, int], List[CampaignCell]] = {}
-        for cell in pending:
-            groups.setdefault((cell.workload, cell.seed), []).append(cell)
-        with ProcessPoolExecutor(max_workers=min(workers, len(groups))) as pool:
-            futures = {
-                pool.submit(_run_cell_group, group, config): group
-                for group in groups.values()
-            }
-            outstanding = set(futures)
-            while outstanding:
-                completed, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in completed:
-                    by_index = {cell.index: cell for cell in futures[future]}
-                    for index, result in future.result():
-                        finish(by_index[index], result)
-
+    results = run_campaign(
+        _PerfCampaign(config),
+        cells,
+        workers=workers,
+        store_dir=cache_dir,
+        progress=translate if progress is not None else None,
+    )
     return {cell.key: results[cell.index] for cell in cells}
 
 

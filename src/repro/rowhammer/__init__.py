@@ -20,6 +20,9 @@ Implements the threat the paper defends against (Sections I, II):
   (Figure 1c).
 - :mod:`repro.rowhammer.eccploit` — the ECCploit-style timing-channel
   attack against word-granularity SECDED (Section II-E, Case-3).
+- :mod:`repro.rowhammer.sweep` — the attack-sweep campaign (attacks x
+  mitigations x organizations) over the generic campaign core
+  (``python -m repro hammer-sweep``).
 """
 
 from repro.rowhammer.thresholds import RH_THRESHOLDS, threshold_for
@@ -53,6 +56,13 @@ from repro.rowhammer.attacks import (
 )
 from repro.rowhammer.runner import AttackRunner, AttackResult
 from repro.rowhammer.integration import VictimArray, ConsumptionOutcome
+from repro.rowhammer.sweep import (
+    SweepCell,
+    SweepConfig,
+    SweepOutcome,
+    plan_sweep,
+    run_sweep,
+)
 
 __all__ = [
     "RH_THRESHOLDS",
@@ -85,4 +95,9 @@ __all__ = [
     "AttackResult",
     "VictimArray",
     "ConsumptionOutcome",
+    "SweepCell",
+    "SweepConfig",
+    "SweepOutcome",
+    "plan_sweep",
+    "run_sweep",
 ]

@@ -12,15 +12,23 @@ SafeGuard) four ways:
 - ``fast_workers_N`` — the fast engine fanned over N processes via
   :func:`repro.perf.campaign.run_comparison_parallel`, asserted
   bit-identical to the sequential fast run (worker count never changes
-  the science).
+  the science). Requested counts above ``os.cpu_count()`` are clamped
+  by :func:`repro.campaign.progress.resolve_workers`; each row records
+  both the requested and the resolved count, and the engine's content
+  memo is cleared first so every row is a cold measurement.
 
 The full run writes ``BENCH_perf.json`` at the repository root so the
 numbers ship with the code; ``--quick`` runs a reduced grid at a smaller
-scale and skips the file (the CI smoke mode).
+scale and skips the file (the CI smoke mode). ``--min-speedup X`` turns
+the fast engine's sequential speedup into an assertion: the run fails
+unless ``fast_sequential`` beats ``reference_sequential`` by at least
+``X`` times (CI pins a conservative floor well under the measured
+speedup so only a real kernel regression trips it).
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf_campaign.py [--quick]
+        [--min-speedup X]
 
 Caching is disabled for every measurement (each run simulates its full
 grid); the cache is a resume mechanism, not part of the engine's
@@ -35,10 +43,15 @@ import os
 import subprocess
 import sys
 import time
+import warnings
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.perf.campaign import run_comparison_parallel  # noqa: E402
+from repro.perf import fastpath  # noqa: E402
+from repro.perf.campaign import (  # noqa: E402
+    resolve_workers,
+    run_comparison_parallel,
+)
 from repro.perf.model import (  # noqa: E402
     PerfConfig,
     geomean_slowdown_percent,
@@ -135,7 +148,7 @@ def _best_of(repeats, fn):
     return best, result
 
 
-def run_bench(workloads, config, repeats) -> dict:
+def run_bench(workloads, config, repeats, min_speedup=None) -> dict:
     organizations = [organization_for("safeguard-secded", 8)]
     n_cells = len(workloads) * (len(organizations) + 1)
     results = {"n_cells": n_cells}
@@ -172,25 +185,42 @@ def run_bench(workloads, config, repeats) -> dict:
     )
     row("reference_sequential", ref_seconds, repeats=repeats)
 
-    fast_seconds, fast = _best_of(
-        repeats,
-        lambda: run_comparison(organizations, workloads=workloads, config=fast_config),
-    )
+    def _cold_fast():
+        # The content memo would survive into the next repeat (and, on
+        # the quick grid, cover every workload) — clear it so each
+        # repeat measures the full engine, not a warm resume.
+        fastpath._CONTENT_MEMO.clear()
+        return run_comparison(organizations, workloads=workloads, config=fast_config)
+
+    fast_seconds, fast = _best_of(repeats, _cold_fast)
     _assert_statistically_equivalent(reference, fast)
+    speedup = ref_seconds / fast_seconds
     row(
         "fast_sequential",
         fast_seconds,
         repeats=repeats,
-        speedup_vs_reference=round(ref_seconds / fast_seconds, 2),
+        speedup_vs_reference=round(speedup, 2),
         statistically_equivalent_to_reference=True,
     )
+    if min_speedup is not None and speedup < min_speedup:
+        raise AssertionError(
+            f"fast_sequential is {speedup:.2f}x the reference engine, below "
+            f"the --min-speedup floor of {min_speedup:.2f}x"
+        )
 
     for workers in WORKER_COUNTS:
-        start = time.perf_counter()
-        parallel = run_comparison_parallel(
-            organizations, workloads=workloads, config=fast_config, workers=workers
-        )
-        seconds = time.perf_counter() - start
+        # Oversubscribed requests clamp (see campaign.progress); measure
+        # the resolved count cold — a 1-worker fallback runs in-process
+        # and would otherwise reuse the sequential run's content memo.
+        fastpath._CONTENT_MEMO.clear()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            resolved = resolve_workers(workers, fast_config)
+            start = time.perf_counter()
+            parallel = run_comparison_parallel(
+                organizations, workloads=workloads, config=fast_config, workers=workers
+            )
+            seconds = time.perf_counter() - start
         if not _identical(fast, parallel):
             raise AssertionError(
                 f"workers={workers} produced different results than the "
@@ -200,6 +230,7 @@ def run_bench(workloads, config, repeats) -> dict:
             f"fast_workers_{workers}",
             seconds,
             workers=workers,
+            workers_resolved=resolved,
             speedup_vs_reference=round(ref_seconds / seconds, 2),
             identical_to_fast_sequential=True,
         )
@@ -213,17 +244,24 @@ def main() -> int:
         action="store_true",
         help="reduced grid and scale; do not write BENCH_perf.json",
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless fast_sequential beats the reference engine by "
+        "at least this factor",
+    )
     args = parser.parse_args()
 
     workloads = QUICK_WORKLOADS if args.quick else WORKLOADS
     config = QUICK_CONFIG if args.quick else CONFIG
-    repeats = 1 if args.quick else REPEATS
+    repeats = REPEATS  # best-of-N in quick mode too: --min-speedup needs a stable ratio
     print(
         "Performance-campaign benchmark (Figure 7 grid, "
         f"{len(workloads)} workloads, {config.instructions_per_core:,} "
         f"instructions/core, workers={list(WORKER_COUNTS)}):"
     )
-    results = run_bench(workloads, config, repeats)
+    results = run_bench(workloads, config, repeats, min_speedup=args.min_speedup)
 
     report = {
         "host": {"cpu_count": os.cpu_count(), "commit": _commit_hash()},

@@ -10,6 +10,7 @@ Usage::
     python -m repro fig6 --engine fast       # vectorized Monte-Carlo engine
     python -m repro fig7 --workers 8         # parallel perf campaign (same output)
     python -m repro fig7 --cache-dir .cells  # resumable per-cell result cache
+    python -m repro fig7 --profile prof.json # + per-pass cProfile dump
     python -m repro hammer-sweep --workers 4 --cache-dir .sweep
     python -m repro campaign-status .sweep   # summarize a campaign store
     python -m repro all                      # everything (interactive scale)
@@ -32,7 +33,10 @@ and the ``hammer-sweep`` attack campaign): a killed or re-scoped campaign
 recomputes only the cells it is missing. ``campaign-status DIR`` reads the
 store's append-only index and prints per-campaign completion counts. The
 generic ``REPRO_WORKERS`` parallelizes every campaign family at once; the
-engine-specific variables above take precedence over it.
+engine-specific variables above take precedence over it. ``--profile
+PATH`` (fig7/fig11) additionally writes a per-pass cProfile breakdown of
+the fast perf engine — synthesis vs. content vs. timing, top functions
+by cumulative time — as JSON (see ``scripts/profile_fastpath.py``).
 """
 
 import sys
@@ -100,6 +104,7 @@ def main(argv=None) -> int:
         scheme, argv = _parse_option(argv, "--scheme", str)
         engine, argv = _parse_option(argv, "--engine", str)
         cache_dir, argv = _parse_option(argv, "--cache-dir", str)
+        profile_to, argv = _parse_option(argv, "--profile", str)
         if engine is not None:
             # Both engine switches recognize the same names; the runner
             # resolves against the right module per experiment.
@@ -137,6 +142,7 @@ def main(argv=None) -> int:
             scheme=scheme,
             engine=engine,
             cache_dir=cache_dir,
+            profile_to=profile_to,
         )
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else error

@@ -19,6 +19,7 @@ field > domain-specific environment variable (``REPRO_MC_WORKERS``,
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -42,11 +43,18 @@ def resolve_workers(
     workers: Optional[int] = None,
     config_workers: Optional[int] = None,
     env: Optional[str] = None,
+    strict: bool = False,
 ) -> int:
     """Resolve a worker count with the repo-wide precedence.
 
     Explicit argument > ``config_workers`` > the engine's own ``env``
     variable > :data:`GENERIC_WORKERS_ENV` > 1 (in-process, no pool).
+
+    Counts above ``os.cpu_count()`` are clamped with a one-line warning:
+    every campaign worker is CPU-bound, so oversubscription only adds
+    scheduler thrash (BENCH_perf.json measured workers=4 on a 1-CPU
+    host at ~4x *slower* than sequential). Pass ``strict=True`` to keep
+    the requested count anyway (e.g. to measure that penalty).
     """
     if workers is None:
         workers = config_workers
@@ -57,6 +65,16 @@ def resolve_workers(
     workers = 1 if workers is None else int(workers)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    cpus = os.cpu_count() or 1
+    if workers > cpus and not strict:
+        warnings.warn(
+            f"requested {workers} campaign workers on a {cpus}-CPU host; "
+            f"clamping to {cpus} (CPU-bound workers only thrash when "
+            "oversubscribed — pass strict=True to keep the request)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = cpus
     return workers
 
 

@@ -122,6 +122,7 @@ def _fig7(
     scheme: Optional[str] = None,
     cache_dir: Optional[str] = None,
     engine: Optional[str] = None,
+    profile_to: Optional[str] = None,
 ) -> None:
     progress = _print_progress if workers and workers > 1 else None
     perf_figures.report_per_workload(
@@ -136,6 +137,17 @@ def _fig7(
         ),
         "Figure 7: SafeGuard vs. conventional ECC",
     )
+    if profile_to:
+        from repro.perf.organizations import BASELINE_ECC, organization_for
+        from repro.perf.profiling import profile_passes, write_profile
+
+        report = profile_passes(
+            _PERF_WORKLOADS,
+            _PERF_CONFIG,
+            [BASELINE_ECC, organization_for(scheme or "safeguard-secded", 8)],
+        )
+        write_profile(report, profile_to)
+        print(f"per-pass fast-engine profile written to {profile_to}")
 
 
 def _fig12(
@@ -251,6 +263,11 @@ _PERF_ENGINE = frozenset({"fig7", "fig11", "fig12", "fig13"})
 #: :mod:`repro.perf.campaign` and :mod:`repro.rowhammer.sweep`).
 CACHE_AWARE = frozenset({"fig7", "fig11", "fig12", "fig13", "hammer-sweep"})
 
+#: Experiments that accept ``--profile PATH``: after the figure runs,
+#: the fast perf engine's passes are cProfiled per pass over the same
+#: grid and the breakdown written as JSON (repro.perf.profiling).
+PROFILE_AWARE = frozenset({"fig7", "fig11"})
+
 
 def experiment_names() -> List[str]:
     return sorted(EXPERIMENTS)
@@ -262,13 +279,16 @@ def run_experiment(
     scheme: Optional[str] = None,
     engine: Optional[str] = None,
     cache_dir: Optional[str] = None,
+    profile_to: Optional[str] = None,
 ) -> None:
     """Run one experiment by name; raises KeyError for unknown names.
 
     ``scheme`` (a registry name) restricts scheme-aware experiments to a
     single organization; ``engine`` selects the Monte-Carlo engine for
     the reliability experiments; ``cache_dir`` persists per-cell results
-    for the performance campaigns; other experiments reject them.
+    for the performance campaigns; ``profile_to`` additionally writes a
+    per-pass cProfile dump of the fast perf engine; other experiments
+    reject them.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -304,6 +324,13 @@ def run_experiment(
                 f"cache-aware: {', '.join(sorted(CACHE_AWARE))}"
             )
         kwargs["cache_dir"] = cache_dir
+    if profile_to is not None:
+        if name not in PROFILE_AWARE:
+            raise ValueError(
+                f"experiment {name!r} does not take --profile; "
+                f"profile-aware: {', '.join(sorted(PROFILE_AWARE))}"
+            )
+        kwargs["profile_to"] = profile_to
     runner(**kwargs)
 
 

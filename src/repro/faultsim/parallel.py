@@ -114,11 +114,16 @@ class ProgressStats(ProgressBase):
 
 
 def resolve_workers(
-    workers: Optional[int] = None, config: Optional[MonteCarloConfig] = None
+    workers: Optional[int] = None,
+    config: Optional[MonteCarloConfig] = None,
+    strict: bool = False,
 ) -> int:
     """Explicit > config > ``REPRO_MC_WORKERS`` > ``REPRO_WORKERS`` > 1."""
     return _resolve_workers(
-        workers, config.workers if config is not None else None, env=WORKERS_ENV
+        workers,
+        config.workers if config is not None else None,
+        env=WORKERS_ENV,
+        strict=strict,
     )
 
 

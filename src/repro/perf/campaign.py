@@ -124,11 +124,16 @@ class ProgressStats(ProgressBase):
 
 
 def resolve_workers(
-    workers: Optional[int] = None, config: Optional[PerfConfig] = None
+    workers: Optional[int] = None,
+    config: Optional[PerfConfig] = None,
+    strict: bool = False,
 ) -> int:
     """Explicit > config > ``REPRO_PERF_WORKERS`` > ``REPRO_WORKERS`` > 1."""
     return _resolve_workers(
-        workers, config.workers if config is not None else None, env=WORKERS_ENV
+        workers,
+        config.workers if config is not None else None,
+        env=WORKERS_ENV,
+        strict=strict,
     )
 
 
@@ -150,11 +155,18 @@ def cell_fingerprint(cell: CampaignCell, config: PerfConfig) -> dict:
     prof = profile(cell.workload)
     defaults = CoreConfig()
     pf = StreamPrefetcher()
+    engine = fastpath.resolve_engine(config.engine)
     return {
         "model_version": MODEL_VERSION,
         # The engines are statistically equivalent, not bit-identical, so
         # a cached cell must never substitute across them.
-        "engine": fastpath.resolve_engine(config.engine),
+        "engine": engine,
+        # Which generation of the fast engine's replay/timing kernels
+        # produced the cell (0 for the reference engine, which has no
+        # kernels): a kernel rewrite recomputes instead of trusting a
+        # cache written by older code, even though rewrites are pinned
+        # bit-identical by the batched/scalar A/B suites.
+        "kernel_revision": fastpath.KERNEL_REVISION if engine == "fast" else 0,
         "workload": dataclasses.asdict(prof),
         "organization": dataclasses.asdict(cell.organization),
         "n_cores": config.n_cores,

@@ -53,6 +53,18 @@ modes.
 
 Mode resolution: ``PerfConfig.engine`` > :func:`set_engine` /
 ``REPRO_PERF`` environment variable > ``"reference"`` (the default).
+
+Within the fast engine, each pass additionally has a **kernel mode**
+(``REPRO_PERF_BATCH`` / :func:`set_pass_modes` / :func:`forced_passes`):
+``"batched"`` (default) runs the content pass through per-set numpy LRU
+kernels (set indices partition the access stream, so every set's LRU
+recurrence runs over a contiguous array; a vectorized residency check
+detects would-be inclusion back-invalidations and falls back to the
+exact scalar replay) and the timing pass over a precomputed
+structured event table; ``"scalar"`` keeps the original per-access /
+per-event Python loops. The two modes are **bit-identical** — the
+batched kernels are an evaluation-order change, not a model change —
+and the equivalence suites in ``tests/test_perf_batched.py`` pin it.
 """
 
 from __future__ import annotations
@@ -81,6 +93,16 @@ from repro.utils.rng import child_seeds, derive_seed, unit_uniforms
 VALID_ENGINES = ("fast", "reference")
 
 ENGINE_ENV = "REPRO_PERF"
+
+#: Generation counter for the fast engine's replay/timing kernels,
+#: pinned into every perf-campaign cell fingerprint. Kernel rewrites
+#: stay bit-identical to the scalar fast pass (the batched/scalar A/B
+#: suites enforce it), but a rewrite is exactly when a latent bug could
+#: slip in — bumping this invalidates cached cells so they are
+#: recomputed by the new code instead of trusted blindly. Revision 1:
+#: the per-set batched LLC/L1 kernels and the structured-array timing
+#: tick.
+KERNEL_REVISION = 1
 
 #: Salt of the fast engine's counter-based draw streams (disjoint from
 #: the reference trace streams 0x7ACE / 0x5EED by derive_seed mixing).
@@ -142,6 +164,66 @@ def resolve_engine(engine: Optional[str] = None) -> str:
     return engine
 
 
+#: Recognized per-pass kernel modes of the fast engine.
+VALID_PASS_MODES = ("batched", "scalar")
+
+PASS_MODE_ENV = "REPRO_PERF_BATCH"
+
+
+def _pass_mode_from_env() -> str:
+    mode = os.environ.get(PASS_MODE_ENV, "batched").strip().lower() or "batched"
+    if mode not in VALID_PASS_MODES:
+        raise ValueError(
+            f"{PASS_MODE_ENV}={mode!r} is not recognized; "
+            f"use one of {VALID_PASS_MODES}"
+        )
+    return mode
+
+
+_content_mode = _timing_mode = _pass_mode_from_env()
+
+
+def pass_modes() -> Tuple[str, str]:
+    """The active ``(content, timing)`` kernel modes of the fast engine."""
+    return _content_mode, _timing_mode
+
+
+def set_pass_modes(
+    content: Optional[str] = None, timing: Optional[str] = None
+) -> None:
+    """Select kernel modes per pass; ``None`` leaves a pass unchanged.
+
+    Both modes are bit-identical by construction; the switch exists so
+    the equivalence suites can compare them in isolation and so a
+    regression in one kernel can be sidestepped without losing the
+    other. The content mode is part of the memo key, so flipping it
+    never serves stale entries.
+    """
+    global _content_mode, _timing_mode
+    for mode in (content, timing):
+        if mode is not None and mode not in VALID_PASS_MODES:
+            raise ValueError(
+                f"pass mode {mode!r} is not one of {VALID_PASS_MODES}"
+            )
+    if content is not None:
+        _content_mode = content
+    if timing is not None:
+        _timing_mode = timing
+
+
+@contextmanager
+def forced_passes(
+    content: Optional[str] = None, timing: Optional[str] = None
+) -> Iterator[None]:
+    """Temporarily force per-pass kernel modes (tests and benchmarks)."""
+    previous = (_content_mode, _timing_mode)
+    set_pass_modes(content, timing)
+    try:
+        yield
+    finally:
+        set_pass_modes(*previous)
+
+
 def supports(prof: WorkloadProfile, core_config: Optional[CoreConfig] = None) -> bool:
     """Whether the fast engine's timing decomposition applies.
 
@@ -155,6 +237,17 @@ def supports(prof: WorkloadProfile, core_config: Optional[CoreConfig] = None) ->
     config = core_config or CoreConfig(base_cpi=prof.base_cpi)
     const_max = CacheHierarchy.L1_HIT_CYCLES + CacheHierarchy.LLC_HIT_CYCLES
     return config.base_cpi * (config.rob_entries - 1) > const_max
+
+
+# Cache geometry, mirroring CacheHierarchy's defaults (32KB/4-way L1 per
+# core, 4MB/16-way shared LLC, 64B lines). Module-level (read at call
+# time, not captured) so the batched-vs-scalar equivalence tests can
+# shrink the caches until inclusion back-invalidations actually occur
+# and pin the scalar-fallback path.
+_L1_WAYS = 4
+_L1_SET_BITS = 7  # 128 sets per core
+_LLC_WAYS = 16
+_LLC_SETS = 4096
 
 
 # -- pass 1: vectorized trace synthesis ------------------------------------------
@@ -292,10 +385,8 @@ def _priming_fills(
     return np.concatenate(lines), np.concatenate(dirty)
 
 
-def _initial_llc_sets(
-    lines: np.ndarray, dirty: np.ndarray, n_sets: int, ways: int
-) -> List[dict]:
-    """Final LRU state after a fill sequence, computed in closed form.
+def _priming_groups(lines: np.ndarray, dirty: np.ndarray, n_sets: int):
+    """Closed-form LRU grouping shared by both initial-state builders.
 
     An LRU set after a sequence of fills holds exactly the last ``ways``
     distinct lines by *last* fill position, ordered LRU -> MRU by that
@@ -303,9 +394,11 @@ def _initial_llc_sets(
     dirty flag is the OR over its fills — exact unless a dirty line is
     evicted and later re-filled clean inside the sequence, which for the
     sparse random priming draws is a negligible-probability event.
+
+    Returns ``(set_sorted, uniq_sorted, dirty_sorted, starts, ends)``:
+    surviving lines grouped by set index, LRU -> MRU within each group
+    ``[start:end)`` (not yet truncated to ``ways``).
     """
-    if len(lines) == 0:
-        return [{} for _ in range(n_sets)]
     # Group fills by line with one stable sort (positions stay ascending
     # within a group): the group's last element gives the line's final
     # fill position, reduceat ORs its dirty flags.
@@ -319,14 +412,32 @@ def _initial_llc_sets(
     uniq = sorted_lines[ends_at]
     last = by_line[ends_at]
     dirty_u = np.logical_or.reduceat(dirty[by_line], group_starts)
-    set_of = (uniq % n_sets).astype(np.int64)
-    order = np.lexsort((last, set_of))
+    if n_sets & (n_sets - 1) == 0:
+        set_of = uniq & (n_sets - 1)
+    else:
+        set_of = (uniq % n_sets).astype(np.int64)
+    # lexsort((last, set_of)) as one radix pass over a packed key: the
+    # final fill positions are distinct, so set_of * len(lines) + last
+    # sorts by set with last-fill order inside each set.
+    order = np.argsort(set_of * np.int64(len(lines)) + last, kind="stable")
     set_sorted = set_of[order]
     uniq_sorted = uniq[order]
     dirty_sorted = dirty_u[order]
     cut = np.flatnonzero(np.diff(set_sorted)) + 1
     starts = np.concatenate(([0], cut))
     ends = np.concatenate((cut, [len(set_sorted)]))
+    return set_sorted, uniq_sorted, dirty_sorted, starts, ends
+
+
+def _initial_llc_sets(
+    lines: np.ndarray, dirty: np.ndarray, n_sets: int, ways: int
+) -> List[dict]:
+    """Initial LLC state for the scalar replay: per-set LRU dicts."""
+    if len(lines) == 0:
+        return [{} for _ in range(n_sets)]
+    set_sorted, uniq_sorted, dirty_sorted, starts, ends = _priming_groups(
+        lines, dirty, n_sets
+    )
     set_l = set_sorted.tolist()
     uniq_l = uniq_sorted.tolist()
     dirty_l = dirty_sorted.tolist()
@@ -339,7 +450,502 @@ def _initial_llc_sets(
     return llc_sets
 
 
+def _initial_llc_arrays(
+    lines: np.ndarray, dirty: np.ndarray, n_sets: int, ways: int
+) -> np.ndarray:
+    """:func:`_initial_llc_sets` as a padded matrix for the batched kernel.
+
+    ``tags[s]`` holds set ``s``'s resident lines right-aligned at the
+    high columns in LRU -> MRU order, packed as ``(line << 1) | dirty``
+    with ``-1`` padding empty ways on the LRU side. The kernel's
+    shift-left insert then always drops column 0 — either the true LRU
+    line or a pad (matching the scalar fill into a non-full set, which
+    evicts nothing).
+    """
+    tags = np.full((n_sets, ways), -1, dtype=np.int64)
+    if len(lines) == 0:
+        return tags
+    set_sorted, uniq_sorted, dirty_sorted, starts, ends = _priming_groups(
+        lines, dirty, n_sets
+    )
+    starts = np.maximum(starts, ends - ways)
+    lens = ends - starts
+    total = int(lens.sum())
+    within = np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+    idx = np.repeat(starts, lens) + within
+    rows = np.repeat(set_sorted[starts], lens)
+    cols = ways - np.repeat(lens, lens) + within
+    tags[rows, cols] = (uniq_sorted[idx] << 1) | dirty_sorted[idx]
+    return tags
+
+
 # -- pass 2: the shared content pass ---------------------------------------------
+
+#: Counters the batched-kernel tests read: how many content passes ran
+#: fully batched vs fell back to the exact scalar replay.
+_BATCH_STATS = {"batched": 0, "fallbacks": 0}
+
+#: Small permutation tables for the LRU-refresh move, per way count:
+#: ``_perm_table(w)[h]`` reorders a set's ways so the hit way ``h``
+#: lands at the MRU column while the others keep their relative order.
+_PERM_TABLES: Dict[int, np.ndarray] = {}
+
+
+def _perm_table(ways: int) -> np.ndarray:
+    table = _PERM_TABLES.get(ways)
+    if table is None:
+        table = np.empty((ways, ways), dtype=np.int64)
+        for h in range(ways):
+            table[h] = [w for w in range(ways) if w != h] + [h]
+        _PERM_TABLES[ways] = table
+    return table
+
+
+def _lru_steps(set_ids: np.ndarray):
+    """Regroup a probe stream by set for the step-loop kernels.
+
+    Returns ``(order, starts_desc, counts_desc)``: a stable sort by set
+    index plus each set's group start/length, ordered by descending
+    group length so that at step ``t`` the sets still active form a
+    prefix — the kernel then advances every active set by one probe per
+    step with full-width array operations.
+    """
+    order = np.argsort(set_ids, kind="stable")
+    s_sorted = set_ids[order]
+    first = np.empty(len(s_sorted), dtype=bool)
+    first[0] = True
+    first[1:] = s_sorted[1:] != s_sorted[:-1]
+    starts = np.flatnonzero(first)
+    counts = np.diff(np.append(starts, len(s_sorted)))
+    desc = np.argsort(-counts, kind="stable")
+    return order, starts[desc], counts[desc]
+
+
+def _l1_kernel(
+    set_ids: np.ndarray, line: np.ndarray, write: np.ndarray, ways: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Replay every (core, L1-set) LRU recurrence as an array kernel.
+
+    Exact per-position outputs of the scalar L1 bookkeeping — sets never
+    interact (inclusion back-invalidations are detected downstream and
+    trigger the scalar fallback), so each step advances all still-active
+    sets at once: tag compare by broadcasting against the ``(sets,
+    ways)`` tag matrix, LRU refresh as a per-row permutation, miss
+    insert as a shift-left. The dirty flag rides in tag bit 0
+    (``(line << 1) | dirty``) so the recurrence maintains one matrix
+    instead of a tag/dirty pair; ``-1`` pads empty ways and can never
+    compare equal because probes are matched with bit 0 forced set.
+    Returns ``(hit, victim_line, victim_dirty)`` per probe;
+    ``victim_line`` is ``-1`` when the fill evicted nothing.
+    """
+    m = len(line)
+    hit = np.zeros(m, dtype=bool)
+    victim_line = np.full(m, -1, dtype=np.int64)
+    victim_dirty = np.zeros(m, dtype=bool)
+    if m == 0:
+        return hit, victim_line, victim_dirty
+    order, starts_d, counts_d = _lru_steps(set_ids)
+    packed_s = (line[order] << 1) | np.asarray(write, dtype=np.int64)[order]
+    n_sets = len(starts_d)
+    tags = np.full((n_sets, ways), -1, dtype=np.int64)
+    perm = _perm_table(ways)
+    neg_counts = -counts_d
+    for t in range(int(counts_d[0])):
+        n_act = int(np.searchsorted(neg_counts, -t, side="left"))
+        idx = starts_d[:n_act] + t
+        probes = packed_s[idx]
+        eq = (tags[:n_act] | 1) == (probes | 1)[:, None]
+        hit_t = eq.any(axis=1)
+        positions = order[idx]
+        hit[positions] = hit_t
+        hit_rows = np.flatnonzero(hit_t)
+        if hit_rows.size:
+            move = perm[eq[hit_rows].argmax(axis=1)]
+            new_tags = np.take_along_axis(tags[hit_rows], move, axis=1)
+            new_tags[:, -1] |= probes[hit_rows] & 1
+            tags[hit_rows] = new_tags
+        miss_rows = np.flatnonzero(~hit_t)
+        if miss_rows.size:
+            evicted = tags[miss_rows, 0]
+            positions_m = positions[miss_rows]
+            victim_line[positions_m] = evicted >> 1
+            victim_dirty[positions_m] = ((evicted & 1) != 0) & (evicted >= 0)
+            tags[miss_rows, :-1] = tags[miss_rows, 1:]
+            tags[miss_rows, -1] = probes[miss_rows]
+    return hit, victim_line, victim_dirty
+
+
+def _llc_kernel(
+    set_ids: np.ndarray,
+    line: np.ndarray,
+    kind: np.ndarray,
+    tags_init: np.ndarray,
+    ways: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Replay every LLC set's LRU recurrence over its probe stream.
+
+    Probe kinds follow the scalar replay's in-op order: ``0`` demand
+    (miss refreshes nothing, fills clean, evicts the LRU line), ``1``
+    dirty-L1-victim touch (hit refreshes and sets dirty; miss is an
+    inclusion writeback that leaves the set untouched), ``2`` prefetch
+    (hit is a no-op — no LRU refresh — and a miss fills clean like a
+    demand). ``tags_init`` is the full ``(n_sets, ways)`` priming
+    matrix in the kernels' packed form (``(line << 1) | dirty``, ``-1``
+    pads); only probed rows are copied in. Returns ``(hit,
+    victim_line, victim_dirty)`` per probe.
+    """
+    m = len(line)
+    hit = np.zeros(m, dtype=bool)
+    victim_line = np.full(m, -1, dtype=np.int64)
+    victim_dirty = np.zeros(m, dtype=bool)
+    if m == 0:
+        return hit, victim_line, victim_dirty
+    order, starts_d, counts_d = _lru_steps(set_ids)
+    packed_s = line[order] << 1
+    kinds_s = np.asarray(kind, dtype=np.int8)[order]
+    probed_sets = set_ids[order][starts_d]
+    tags = tags_init[probed_sets]
+    perm = _perm_table(ways)
+    neg_counts = -counts_d
+    for t in range(int(counts_d[0])):
+        n_act = int(np.searchsorted(neg_counts, -t, side="left"))
+        idx = starts_d[:n_act] + t
+        probes = packed_s[idx]
+        probe_kinds = kinds_s[idx]
+        eq = (tags[:n_act] | 1) == (probes | 1)[:, None]
+        hit_t = eq.any(axis=1)
+        positions = order[idx]
+        hit[positions] = hit_t
+        # Demand and victim-touch hits refresh LRU (the victim touch
+        # also marks the line dirty); prefetch hits leave the set alone.
+        refresh_rows = np.flatnonzero(hit_t & (probe_kinds <= 1))
+        if refresh_rows.size:
+            move = perm[eq[refresh_rows].argmax(axis=1)]
+            new_tags = np.take_along_axis(tags[refresh_rows], move, axis=1)
+            new_tags[:, -1] |= probe_kinds[refresh_rows] == 1
+            tags[refresh_rows] = new_tags
+        # Demand and prefetch misses fill clean at MRU, evicting the LRU
+        # way; a victim-touch miss (inclusion writeback) changes nothing.
+        insert_rows = np.flatnonzero(~hit_t & (probe_kinds != 1))
+        if insert_rows.size:
+            evicted = tags[insert_rows, 0]
+            positions_i = positions[insert_rows]
+            victim_line[positions_i] = evicted >> 1
+            victim_dirty[positions_i] = ((evicted & 1) != 0) & (evicted >= 0)
+            tags[insert_rows, :-1] = tags[insert_rows, 1:]
+            tags[insert_rows, -1] = probes[insert_rows]
+    return hit, victim_line, victim_dirty
+
+
+def _run_prefetcher(
+    miss_pos: List[int],
+    miss_lines: List[int],
+    miss_cores: List[int],
+    n_cores: int,
+    n_streams: int,
+    degree: int,
+    distance: int,
+) -> Tuple[List[int], List[int], List[int]]:
+    """The stream-prefetcher recurrence over the L1 miss stream.
+
+    The prefetcher observes exactly the L1 misses (in merged order), so
+    once the L1 kernel has produced them this scalar loop touches only a
+    few percent of the ops. Semantics are verbatim from the scalar
+    replay (LRU stream table, confidence saturation at 4, trained at
+    >= 2, bursts clipped to the page). Returns the prefetch probes as
+    ``(merged position, line, sub-order >= 2)`` triples.
+    """
+    tables: List[dict] = [{} for _ in range(n_cores)]
+    out_pos: List[int] = []
+    out_line: List[int] = []
+    out_sub: List[int] = []
+    add_pos = out_pos.append
+    add_line = out_line.append
+    add_sub = out_sub.append
+    for k, line, core in zip(miss_pos, miss_lines, miss_cores):
+        page = line >> 6
+        table = tables[core]
+        stream = table.pop(page, None)
+        if stream is None:
+            if len(table) >= n_streams:
+                del table[next(iter(table))]
+            table[page] = [line, 0, line + distance]
+            continue
+        table[page] = stream  # LRU refresh
+        last_line, confidence, next_prefetch = stream
+        if line == last_line + 1:
+            confidence = confidence + 1 if confidence < 4 else 4
+        elif line != last_line:
+            confidence = confidence - 1 if confidence > 0 else 0
+        stream[0] = line
+        stream[1] = confidence
+        if confidence >= 2:
+            target = next_prefetch if next_prefetch > line + 1 else line + 1
+            sub = 2
+            if (target + degree - 1) >> 6 == page:
+                for t in range(target, target + degree):
+                    add_pos(k)
+                    add_line(t)
+                    add_sub(sub)
+                    sub += 1
+            else:
+                for t in range(target, target + degree):
+                    if t >> 6 == page:
+                        add_pos(k)
+                        add_line(t)
+                        add_sub(sub)
+                        sub += 1
+            stream[2] = target + degree
+    return out_pos, out_line, out_sub
+
+
+def _batched_replay(
+    line: np.ndarray,
+    l1_index: np.ndarray,
+    write: np.ndarray,
+    core_of: np.ndarray,
+    idx_of: np.ndarray,
+    boundary: int,
+    trace_lens: List[int],
+    fill_lines: np.ndarray,
+    fill_dirty: np.ndarray,
+    pf_params: Tuple[int, int, int],
+):
+    """The content replay as per-set array kernels (the batched mode).
+
+    Decomposes the scalar replay into independent per-set recurrences:
+    the L1 kernel yields hits/victims per op, the prefetcher loop runs
+    over the miss stream, and the LLC kernel replays each set's probe
+    stream ordered by ``(merged position, in-op sub-order)`` — demand
+    probe, dirty-victim touch, prefetch burst — exactly the scalar
+    in-op order. The decomposition is exact unless an LLC eviction
+    back-invalidates a line still resident in an L1 (the only cross-set
+    interaction); a vectorized residency count over the L1 fill/evict
+    streams detects that case soundly — it fires iff the scalar replay
+    would count a back-invalidation — and the caller falls back to the
+    exact uncollapsed scalar replay. Returns ``None`` in that case,
+    else ``(counters, outcome, per-core event arrays, hits_base,
+    misses_base)`` bit-equal to the scalar ``run()``.
+    """
+    llc_ways = _LLC_WAYS
+    llc_mask = _LLC_SETS - 1
+    n_cores = len(trace_lens)
+    m = len(line)
+    hit, l1_vline, l1_vdirty = _l1_kernel(l1_index, line, write, _L1_WAYS)
+    miss_pos = np.flatnonzero(~hit)
+    pf_pos, pf_line, pf_sub = _run_prefetcher(
+        miss_pos.tolist(),
+        line[miss_pos].tolist(),
+        core_of[miss_pos].tolist(),
+        n_cores,
+        *pf_params,
+    )
+    touch_pos = np.flatnonzero(l1_vdirty)
+    probe_pos = np.concatenate(
+        [miss_pos, touch_pos, np.asarray(pf_pos, dtype=np.int64)]
+    )
+    probe_line = np.concatenate(
+        [line[miss_pos], l1_vline[touch_pos], np.asarray(pf_line, dtype=np.int64)]
+    )
+    probe_kind = np.concatenate(
+        [
+            np.zeros(len(miss_pos), dtype=np.int8),
+            np.ones(len(touch_pos), dtype=np.int8),
+            np.full(len(pf_pos), 2, dtype=np.int8),
+        ]
+    )
+    probe_sub = np.concatenate(
+        [
+            np.zeros(len(miss_pos), dtype=np.int64),
+            np.ones(len(touch_pos), dtype=np.int64),
+            np.asarray(pf_sub, dtype=np.int64),
+        ]
+    )
+    # lexsort((probe_sub, probe_pos)) as one radix pass: sub-orders are
+    # bounded by degree + 1, so pack them under the merged position.
+    sub_stride = np.int64(pf_params[1] + 2)
+    order = np.argsort(probe_pos * sub_stride + probe_sub, kind="stable")
+    probe_pos = probe_pos[order]
+    probe_line = probe_line[order]
+    probe_kind = probe_kind[order]
+    tags = _initial_llc_arrays(fill_lines, fill_dirty, _LLC_SETS, llc_ways)
+    probe_hit, probe_vline, probe_vdirty = _llc_kernel(
+        probe_line & llc_mask, probe_line, probe_kind, tags, llc_ways
+    )
+
+    # Back-invalidation detection: an LLC eviction whose victim is still
+    # resident in an L1 breaks the per-set decomposition. Residency at
+    # merged position k is fills-before-k minus evictions-before-k over
+    # the L1 kernel's fill/evict streams ("before" is strict for demand
+    # evictions — the op's own L1 fill happens after its demand probe —
+    # and inclusive for prefetch evictions, which run after the fill).
+    # Up to the first would-be back-invalidation both replays agree, so
+    # this check fires exactly when the scalar replay counts one.
+    evict_sel = probe_vline >= 0
+    if np.any(evict_sel):
+        key_base = np.int64(m + 1)
+        fill_keys = np.sort(line[miss_pos] * key_base + miss_pos)
+        l1_evict = np.flatnonzero(l1_vline >= 0)
+        evict_keys = np.sort(l1_vline[l1_evict] * key_base + l1_evict)
+        victims = probe_vline[evict_sel]
+        bound = probe_pos[evict_sel] + (probe_kind[evict_sel] == 2)
+        low = victims * key_base
+        n_fills = np.searchsorted(fill_keys, low + bound) - np.searchsorted(
+            fill_keys, low
+        )
+        n_evicts = np.searchsorted(evict_keys, low + bound) - np.searchsorted(
+            evict_keys, low
+        )
+        if np.any(n_fills > n_evicts):
+            return None
+
+    # Counters and per-op outcomes (demand probes only).
+    demand_sel = probe_kind == 0
+    touch_sel = probe_kind == 1
+    demand_hit = probe_hit[demand_sel]
+    demand_pos = probe_pos[demand_sel]
+    touch_hit = probe_hit[touch_sel]
+    touch_pos_s = probe_pos[touch_sel]
+    counters = {
+        "hits": int(demand_hit.sum()) + int(touch_hit.sum()),
+        "misses": int((~demand_hit).sum()),
+        "incl": int((~touch_hit).sum()),
+        "back_inval": 0,
+    }
+    hits_base = int((demand_hit & (demand_pos < boundary)).sum()) + int(
+        (touch_hit & (touch_pos_s < boundary)).sum()
+    )
+    misses_base = int((~demand_hit & (demand_pos < boundary)).sum())
+    outcome = [np.zeros(length, dtype=np.uint8) for length in trace_lens]
+    demand_core = core_of[demand_pos]
+    demand_idx = idx_of[demand_pos]
+    demand_out = np.where(demand_hit, 1, 2).astype(np.uint8)
+    for c in range(n_cores):
+        sel = demand_core == c
+        outcome[c][demand_idx[sel]] = demand_out[sel]
+
+    # Controller-facing actions, assembled without a Python loop: each
+    # probe contributes its own action (demand read / inclusion write /
+    # prefetch read) when it missed (resp. for the victim touch: when
+    # the writeback went to DRAM), plus a victim writeback when its
+    # fill evicted a dirty line.
+    has_own = ~probe_hit
+    code_own = np.array(
+        [A_DEMAND_READ, A_INCL_WRITE, A_PF_READ], dtype=np.int64
+    )[probe_kind]
+    act_own = (probe_line << 3) | code_own
+    has_victim = has_own & (probe_kind != 1) & probe_vdirty
+    act_victim = (probe_vline << 3) | np.where(
+        probe_kind == 0, A_VICTIM_WRITE, A_PF_VICTIM_WRITE
+    )
+    n_actions = has_own.astype(np.int64) + has_victim
+    act_end = np.cumsum(n_actions)
+    act_start = act_end - n_actions
+    total_actions = int(act_end[-1]) if len(act_end) else 0
+    actions_flat = np.empty(total_actions, dtype=np.int64)
+    actions_flat[act_start[has_own]] = act_own[has_own]
+    actions_flat[act_start[has_victim] + 1] = act_victim[has_victim]
+
+    # Group action-bearing probes into per-op events (probes are sorted
+    # by merged position, so ops are consecutive runs), then split the
+    # event table by core.
+    have = n_actions > 0
+    have_pos = probe_pos[have]
+    events: List[tuple] = []
+    if len(have_pos):
+        new_event = np.empty(len(have_pos), dtype=bool)
+        new_event[0] = True
+        new_event[1:] = have_pos[1:] != have_pos[:-1]
+        event_pos = have_pos[new_event]
+        event_len = np.add.reduceat(
+            n_actions[have], np.flatnonzero(new_event)
+        )
+        event_start = act_start[have][new_event]
+        event_core = core_of[event_pos]
+        event_op = idx_of[event_pos]
+        for c in range(n_cores):
+            sel = event_core == c
+            starts_c = event_start[sel]
+            lens_c = event_len[sel]
+            total_c = int(lens_c.sum())
+            gather = np.repeat(starts_c, lens_c) + (
+                np.arange(total_c)
+                - np.repeat(np.cumsum(lens_c) - lens_c, lens_c)
+            )
+            offsets = np.concatenate(([0], np.cumsum(lens_c)))
+            events.append(
+                (event_op[sel], event_pos[sel], offsets, actions_flat[gather])
+            )
+    else:
+        empty_i = np.empty(0, dtype=np.int64)
+        for c in range(n_cores):
+            events.append((empty_i, empty_i, np.zeros(1, dtype=np.int64), empty_i))
+    return counters, outcome, events, hits_base, misses_base
+
+
+@dataclass
+class _CoreEvents:
+    """One core's controller-facing events as a structured table.
+
+    Everything the batched timing tick needs per event is precomputed
+    here by the content pass (vectorized): the op index, merged
+    position, stall-free base clock, ROB window-crossing op, event kind
+    (0 = no demand latency to apply, 1 = serializing load, 2 = windowed
+    load) and warm-up membership, plus the packed actions as one flat
+    list with offsets. Plain lists of machine scalars — indexing them
+    in the tick is one ``list_subscript`` each, and the cyclic GC never
+    rescans their elements.
+    """
+
+    op: List[int]
+    pos: List[int]
+    base_time: List[float]
+    crossing: List[int]
+    kind: List[int]
+    warm: List[bool]
+    act_off: List[int]
+    actions: List[int]
+    n_ev: int
+    n_warm: int
+
+
+def _build_core_events(
+    op_arr,
+    pos_arr,
+    off_arr,
+    act_arr,
+    check_np: np.ndarray,
+    instr_np: np.ndarray,
+    is_write: np.ndarray,
+    serializing: np.ndarray,
+    boundary: int,
+    rob: int,
+) -> _CoreEvents:
+    op = np.asarray(op_arr, dtype=np.int64)
+    pos = np.asarray(pos_arr, dtype=np.int64)
+    off = np.asarray(off_arr, dtype=np.int64)
+    act = np.asarray(act_arr, dtype=np.int64)
+    if len(op) == 0:
+        return _CoreEvents([], [], [], [], [], [], [0], [], 0, 0)
+    base_time = check_np[op]
+    crossing = np.searchsorted(instr_np, instr_np[op] + rob, side="left")
+    # A demand read, when present, is always the event's first action.
+    has_demand = (act[off[:-1]] & 7) == A_DEMAND_READ
+    load = has_demand & ~is_write[op]
+    kind = np.where(load, np.where(serializing[op], 1, 2), 0)
+    warm = pos < boundary
+    return _CoreEvents(
+        op.tolist(),
+        pos.tolist(),
+        base_time.tolist(),
+        crossing.tolist(),
+        kind.tolist(),
+        warm.tolist(),
+        off.tolist(),
+        act.tolist(),
+        len(op),
+        int(np.count_nonzero(warm)),
+    )
 
 
 @dataclass
@@ -362,9 +968,9 @@ class _ContentResult:
     check_time: List[array]  #: float64 pre-access clock per op, stall-free
     final_time: List[float]  #: post-last-op clock, stall-free
     warm_op: List[int]  #: first op index at/after the warm-up quota
-    #: Sparse events: (op index, merged position, [packed actions]),
-    #: each action packed as ``(line << 3) | code``.
-    events: List[List[Tuple[int, int, List[int]]]]
+    #: Sparse per-core event tables (actions packed as
+    #: ``(line << 3) | code``); see :class:`_CoreEvents`.
+    events: List[_CoreEvents]
     #: Merged position before which an event belongs to the warm-up.
     boundary_pos: int
     #: True when there is no warm-up phase at all (start stays at 0).
@@ -402,7 +1008,15 @@ def _content_pass(
     instructions_per_core: int,
     warmup_instructions: int,
 ) -> Optional[_ContentResult]:
-    key = (prof, n_cores, seed, instructions_per_core, warmup_instructions)
+    key = (
+        prof,
+        n_cores,
+        seed,
+        instructions_per_core,
+        warmup_instructions,
+        _content_mode,
+        _COLLAPSE_RUNS,
+    )
     cached = _CONTENT_MEMO.get(key)
     if cached is not None:
         _CONTENT_MEMO.move_to_end(key)
@@ -429,10 +1043,10 @@ def _content_pass_uncached(
     if any(t is None for t in traces):
         return None  # all-L1 profile: the caller reports an all-zero result
 
-    # Geometry mirrors CacheHierarchy's defaults (32KB/4-way L1 per core,
-    # 4MB/16-way shared LLC, 64B lines).
-    l1_ways, l1_mask = 4, 128 - 1
-    llc_ways, llc_sets_n = 16, 4096
+    l1_ways = _L1_WAYS
+    l1_bits = _L1_SET_BITS
+    l1_mask = (1 << l1_bits) - 1
+    llc_ways, llc_sets_n = _LLC_WAYS, _LLC_SETS
     llc_mask = llc_sets_n - 1
     fill_lines, fill_dirty = _priming_fills(
         prof, n_cores, seed, llc_sets_n * llc_ways
@@ -455,7 +1069,9 @@ def _content_pass_uncached(
     all_idx = np.concatenate(
         [np.arange(len(t.instr_cum), dtype=np.int64) for t in traces]
     )
-    order = np.lexsort((all_core, all_instr))
+    # lexsort((all_core, all_instr)) as one radix pass over a packed
+    # key; kind="stable" keeps lexsort's tie-break for equal pairs.
+    order = np.argsort(all_instr * np.int64(n_cores) + all_core, kind="stable")
 
     # Warm-up boundary: the merged position of the last core's first
     # at-quota op; LLC stats are snapshotted there (reference semantics:
@@ -477,7 +1093,7 @@ def _content_pass_uncached(
 
     # Merged per-op columns, precomputed in numpy.
     np_line = np.concatenate([t.line for t in traces])[order]
-    np_l1idx = (all_core[order] << 7) | (np_line & l1_mask)
+    np_l1idx = (all_core[order] << l1_bits) | (np_line & l1_mask)
     np_write = np.concatenate([t.is_write for t in traces])[order]
     np_core = all_core[order]
     np_idx = all_idx[order]
@@ -537,8 +1153,8 @@ def _content_pass_uncached(
             make_columns(collapse)
         )
         llc = _initial_llc_sets(fill_lines, fill_dirty, llc_sets_n, llc_ways)
-        # Flat per-core L1 sets: index (core << 7) | (line & l1_mask).
-        l1: List[dict] = [{} for _ in range(n_cores << 7)]
+        # Flat per-core L1 sets: index (core << l1_bits) | (line & l1_mask).
+        l1: List[dict] = [{} for _ in range(n_cores << l1_bits)]
         pf: List[dict] = [{} for _ in range(n_cores)]
         outcome = [bytearray(len(t.instr_cum)) for t in traces]
         events: List[List[Tuple[int, int, List[int]]]] = [
@@ -623,7 +1239,7 @@ def _content_pass_uncached(
                         vline = next(iter(ls))
                         vdirty = ls.pop(vline)
                         binv = l1_local[
-                            ((vline >> 28) << 7) | (vline & l1_mask)
+                            ((vline >> 28) << l1_bits) | (vline & l1_mask)
                         ].pop(vline, missing)
                         if binv is not missing:
                             back_inval += 1
@@ -662,7 +1278,7 @@ def _content_pass_uncached(
                             pvline = next(iter(ps))
                             pvdirty = ps.pop(pvline)
                             pbinv = l1_local[
-                                ((pvline >> 28) << 7) | (pvline & l1_mask)
+                                ((pvline >> 28) << l1_bits) | (pvline & l1_mask)
                             ].pop(pvline, missing)
                             if pbinv is not missing:
                                 back_inval += 1
@@ -689,16 +1305,58 @@ def _content_pass_uncached(
             replay(boundary, n_ops)
         return counters, outcome, events, hits_base, misses_base, boundary
 
-    counters, outcome, events, hits_base, misses_base, boundary_used = run(
-        _COLLAPSE_RUNS
-    )
-    if _COLLAPSE_RUNS and counters["back_inval"]:
-        # A collapsed run may have been broken mid-flight; the exact
-        # uncollapsed replay settles it (rare: needs an LLC small enough
-        # to back-invalidate still-hot L1 lines).
-        counters, outcome, events, hits_base, misses_base, boundary_used = run(
+    batched = None
+    fell_back = False
+    if _content_mode == "batched":
+        if _COLLAPSE_RUNS:
+            sel = leader
+            col_write = eff_write[sel] != 0
+            col_boundary = int(np.count_nonzero(leader[:boundary_pos]))
+        else:
+            sel = slice(None)
+            col_write = np_write
+            col_boundary = boundary_pos
+        batched = _batched_replay(
+            np_line[sel],
+            np_l1idx[sel],
+            col_write,
+            np_core[sel],
+            np_idx[sel],
+            col_boundary,
+            [len(t.instr_cum) for t in traces],
+            fill_lines,
+            fill_dirty,
+            (pf_streams, pf_degree, pf_distance),
+        )
+        fell_back = batched is None
+    if batched is not None:
+        _BATCH_STATS["batched"] += 1
+        counters, outcome, raw_events, hits_base, misses_base = batched
+        boundary_used = col_boundary
+    elif fell_back:
+        # A would-be back-invalidation breaks the per-set decomposition
+        # (and any collapsed run): take the exact uncollapsed scalar
+        # replay directly (rare: needs an LLC small enough to
+        # back-invalidate still-hot L1 lines).
+        _BATCH_STATS["fallbacks"] += 1
+        counters, outcome, raw_events, hits_base, misses_base, boundary_used = run(
             False
         )
+    else:
+        counters, outcome, raw_events, hits_base, misses_base, boundary_used = run(
+            _COLLAPSE_RUNS
+        )
+        if _COLLAPSE_RUNS and counters["back_inval"]:
+            # A collapsed run may have been broken mid-flight; the exact
+            # uncollapsed replay settles it.
+            (
+                counters,
+                outcome,
+                raw_events,
+                hits_base,
+                misses_base,
+                boundary_used,
+            ) = run(False)
     llc_hits, llc_misses = counters["hits"], counters["misses"]
     inclusion_writebacks = counters["incl"]
 
@@ -710,10 +1368,13 @@ def _content_pass_uncached(
     l1_lat = float(CacheHierarchy.L1_HIT_CYCLES)
     llc_lat = float(CacheHierarchy.L1_HIT_CYCLES + CacheHierarchy.LLC_HIT_CYCLES)
     check_time: List[array] = []
+    check_np: List[np.ndarray] = []
     final_time: List[float] = []
     for c, trace in enumerate(traces):
         serial_load = trace.serializing & ~trace.is_write
-        out_arr = np.frombuffer(outcome[c], dtype=np.uint8)
+        out_arr = outcome[c]
+        if not isinstance(out_arr, np.ndarray):
+            out_arr = np.frombuffer(out_arr, dtype=np.uint8)
         const_lat = np.where(
             serial_load & (out_arr == OUT_L1),
             l1_lat,
@@ -722,8 +1383,41 @@ def _content_pass_uncached(
         post = cpi + const_lat
         pre = trace.gap * cpi
         incl = np.cumsum(pre + post)
-        check_time.append(array("d", (incl - post).tobytes()))
+        check = incl - post
+        check_np.append(check)
+        check_time.append(array("d", check.tobytes()))
         final_time.append(float(incl[-1]))
+
+    # Structured per-core event tables (both replay modes feed the same
+    # builder: the batched replay hands over arrays, the scalar replay
+    # legacy (op, pos, actions) tuples).
+    rob = CoreConfig().rob_entries
+    core_events: List[_CoreEvents] = []
+    for c, trace in enumerate(traces):
+        if batched is not None:
+            op_a, pos_a, off_a, act_a = raw_events[c]
+        else:
+            evs = raw_events[c]
+            op_a = [e[0] for e in evs]
+            pos_a = [e[1] for e in evs]
+            off_a = np.zeros(len(evs) + 1, dtype=np.int64)
+            if evs:
+                np.cumsum([len(e[2]) for e in evs], out=off_a[1:])
+            act_a = [a for e in evs for a in e[2]]
+        core_events.append(
+            _build_core_events(
+                op_a,
+                pos_a,
+                off_a,
+                act_a,
+                check_np[c],
+                trace.instr_cum,
+                trace.is_write,
+                trace.serializing,
+                boundary_used,
+                rob,
+            )
+        )
 
     return _ContentResult(
         n_cores=n_cores,
@@ -734,7 +1428,7 @@ def _content_pass_uncached(
         check_time=check_time,
         final_time=final_time,
         warm_op=warm_op,
-        events=events,
+        events=core_events,
         boundary_pos=boundary_used,
         no_warmup=warmup_instructions == 0,
         llc_hits_window=llc_hits - hits_base,
@@ -820,16 +1514,29 @@ class _FastController:
         self._coords: Dict[int, int] = {} if coords is None else coords
 
     def read(self, address: int, now: float) -> float:
-        """MemoryController.read, returning the data-burst end time."""
+        """MemoryController.read, returning the data-burst end time.
+
+        Completion times are strictly increasing (the data bus
+        serializes bursts: each ends at least tBL after the previous),
+        so the inflight queues are plain sorted lists — append instead
+        of heappush, prefix delete instead of heappop, same contents at
+        every step as the reference controller's heap.
+        """
         inflight = self._inflight_reads
-        while inflight and inflight[0] <= now:
-            heapq.heappop(inflight)
-        if len(inflight) >= 64:  # READ_QUEUE_ENTRIES
-            freed = heapq.heappop(inflight)
+        retire = 0
+        n_inflight = len(inflight)
+        while retire < n_inflight and inflight[retire] <= now:
+            retire += 1
+        if retire:
+            del inflight[:retire]
+            n_inflight -= retire
+        if n_inflight >= 64:  # READ_QUEUE_ENTRIES
+            freed = inflight[0]
+            del inflight[0]
             if freed > now:
                 now = freed
             while inflight and inflight[0] <= now:
-                heapq.heappop(inflight)
+                del inflight[0]
         if now >= self._next_refresh:
             self._refresh(now)
         # _access inlined (the single-access hot path; the write paths
@@ -908,7 +1615,7 @@ class _FastController:
             burst_start = bus_free
         data_at = burst_start + _tBL
         self._bus_free_at = data_at
-        heapq.heappush(inflight, data_at)
+        inflight.append(data_at)  # sorted: data_at > every earlier completion
         self.reads += 1
         self.total_read_latency += data_at - now
         return data_at
@@ -919,27 +1626,32 @@ class _FastController:
         if now >= self._next_refresh:
             self._refresh(now)
         inflight = self._write_inflight
-        while inflight and inflight[0] <= now:
-            heapq.heappop(inflight)
+        retire = 0
+        n_inflight = len(inflight)
+        while retire < n_inflight and inflight[retire] <= now:
+            retire += 1
+        if retire:
+            del inflight[:retire]
         queue = self._write_queue
         if self._write_draining and len(queue) + len(inflight) <= 16:
             self._write_draining = False  # WRITE_DRAIN_LOW reached
         if len(queue) + len(inflight) >= 64:  # WRITE_QUEUE_ENTRIES
             while queue:
-                heapq.heappush(inflight, self._access(queue.popleft(), now))
+                inflight.append(self._access(queue.popleft(), now))
             if len(inflight) >= 64:
-                freed = heapq.heappop(inflight)
+                freed = inflight[0]
+                del inflight[0]
                 if freed > now:
                     now = freed
                 while inflight and inflight[0] <= now:
-                    heapq.heappop(inflight)
+                    del inflight[0]
         queue.append(address)
         if not self._write_draining and len(queue) + len(inflight) >= 48:
             self._write_draining = True  # WRITE_DRAIN_HIGH crossed
             self.write_drains += 1
         if self._write_draining:
             while queue:
-                heapq.heappush(inflight, self._access(queue.popleft(), now))
+                inflight.append(self._access(queue.popleft(), now))
         return now
 
     def _access(self, address: int, now: float) -> float:
@@ -1140,19 +1852,23 @@ def _zero_result(prof: WorkloadProfile, organization, config) -> SystemResult:
     )
 
 
-def _timing_pass(
-    content: _ContentResult,
-    prof: WorkloadProfile,
-    organization,
-    config,
-    diagnostics: Optional[dict] = None,
-    reference_controller: bool = False,
-) -> SystemResult:
-    controller = (
-        _ReferenceControllerAdapter()
-        if reference_controller
-        else _FastController(content.coords)
-    )
+def _legacy_events(table: _CoreEvents) -> List[Tuple[int, int, List[int]]]:
+    """A :class:`_CoreEvents` table as the scalar tick's legacy tuples."""
+    off = table.act_off
+    actions = table.actions
+    return [
+        (table.op[j], table.pos[j], actions[off[j] : off[j + 1]])
+        for j in range(table.n_ev)
+    ]
+
+
+def _timing_scalar(content: _ContentResult, organization, controller):
+    """The original per-event heap walk (the ``"scalar"`` timing mode).
+
+    Kept verbatim as the batched tick's equivalence oracle: both modes
+    must produce bit-identical results over the same content and
+    controller (``tests/test_perf_batched.py`` pins it).
+    """
     cpi = content.base_cpi
     rob = CoreConfig().rob_entries
     l1_llc_lat = float(
@@ -1174,11 +1890,12 @@ def _timing_pass(
     merge_window = 1000.0  # CacheHierarchy._META_WRITE_MERGE_WINDOW
 
     premarked = content.no_warmup
+    events = [_legacy_events(table) for table in content.events]
     cores = [
         _CoreTiming(
             content.check_time[c],
             content.instr[c],
-            content.events[c],
+            events[c],
             content.warm_op[c],
             premarked,
         )
@@ -1196,9 +1913,7 @@ def _timing_pass(
             "read_latency": controller.total_read_latency,
         }
 
-    warmup_events = sum(
-        1 for evs in content.events for (_, k, _a) in evs if k < content.boundary_pos
-    )
+    warmup_events = sum(table.n_warm for table in content.events)
     base = snapshot() if warmup_events == 0 else None
 
     heap: List[Tuple[float, int]] = []
@@ -1285,22 +2000,231 @@ def _timing_pass(
 
     if base is None:
         base = snapshot()
-    now = snapshot()
-    delta = {key: now[key] - base[key] for key in now}
-    llc_total = content.llc_hits_window + content.llc_misses_window
-    row_total = delta["row_hits"] + delta["row_misses"] + delta["row_conflicts"]
-
     measured = []
     for c, core in enumerate(cores):
         # next_event_time already drained the event list and resolved all
         # remaining stalls/marks through the final op.
         measured.append(content.final_time[c] + core.correction - core.start_cycle)
+    return measured, base, snapshot(), backpressure_stalls
+
+
+def _timing_batched(content: _ContentResult, organization, controller):
+    """The structured-array event tick (the default timing mode).
+
+    The same walk as :func:`_timing_scalar` with every per-event
+    derivation — stall-free base clock, ROB window-crossing op, event
+    kind, warm-up membership — precomputed by the content pass into the
+    :class:`_CoreEvents` tables, so the tick touches one table row per
+    event instead of re-deriving them (bisect, numpy bool indexing) per
+    event. Consecutive events of one core run inline without a heap
+    round-trip whenever no other core's next event is earlier — exact,
+    because the (time, core-id) tuple order the heap would use is
+    checked against the heap head before short-circuiting.
+    """
+    cpi = content.base_cpi
+    l1_llc_lat = float(
+        CacheHierarchy.L1_HIT_CYCLES + CacheHierarchy.LLC_HIT_CYCLES
+    )
+    tail = organization.read_tail_cpu_cycles
+    extra_read = organization.extra_read_per_read
+    extra_write = organization.extra_write_per_writeback
+    meta_address = organization.metadata_address
+    cpm = CPU_CYCLES_PER_MEM_CYCLE
+
+    dram_reads = 0
+    dram_writes = 0
+    backpressure_stalls = 0
+    meta_inflight: "OrderedDict[int, float]" = OrderedDict()
+    meta_recent: "OrderedDict[int, float]" = OrderedDict()
+    merge_window = 1000.0  # CacheHierarchy._META_WRITE_MERGE_WINDOW
+
+    n_cores = content.n_cores
+    check = content.check_time
+    warm_ops = content.warm_op
+    correction = [0.0] * n_cores
+    marked = [content.no_warmup] * n_cores
+    start_cycle = [0.0] * n_cores
+    outstanding = [deque() for _ in range(n_cores)]
+    ev_i = [0] * n_cores
+    cols = [
+        (
+            table.op,
+            table.base_time,
+            table.crossing,
+            table.kind,
+            table.warm,
+            table.act_off,
+            table.actions,
+            table.n_ev,
+            len(check[c]),
+        )
+        for c, table in enumerate(content.events)
+    ]
+
+    def advance(c: int, upto: int) -> None:
+        # _CoreTiming.advance over the parallel per-core state lists.
+        out = outstanding[c]
+        ch = check[c]
+        corr = correction[c]
+        w = warm_ops[c]
+        while out and out[0][0] <= upto:
+            crossing, completion = out.popleft()
+            if not marked[c] and w < crossing:
+                start_cycle[c] = ch[w] + corr
+                marked[c] = True
+            at = ch[crossing] + corr
+            if completion > at:
+                corr += completion - at
+        correction[c] = corr
+        if not marked[c] and w <= upto:
+            start_cycle[c] = ch[w] + corr
+            marked[c] = True
+
+    def snapshot() -> Dict[str, float]:
+        return {
+            "dram_reads": dram_reads,
+            "dram_writes": dram_writes,
+            "row_hits": controller.row_hits,
+            "row_misses": controller.row_misses,
+            "row_conflicts": controller.row_conflicts,
+            "reads": controller.reads,
+            "read_latency": controller.total_read_latency,
+        }
+
+    warmup_events = sum(table.n_warm for table in content.events)
+    base = snapshot() if warmup_events == 0 else None
+
+    heap: List[Tuple[float, int]] = []
+    for c, table in enumerate(content.events):
+        if table.n_ev:
+            advance(c, table.op[0])
+            heap.append((table.base_time[0] + correction[c], c))
+        else:
+            advance(c, cols[c][8] - 1)
+    heapq.heapify(heap)
+
+    cread = controller.read
+    cwrite = controller.write
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    while heap:
+        now_cpu, c = heappop(heap)
+        op_l, base_l, cross_l, kind_l, warm_l, off_l, act_l, n_ev, n_ops = cols[c]
+        out_c = outstanding[c]
+        i = ev_i[c]
+        while True:
+            now_mem = now_cpu / cpm
+            demand_latency = 0.0
+            stall = 0.0
+            for packed in act_l[off_l[i] : off_l[i + 1]]:
+                code = packed & 7
+                address = (packed >> 3) << 6
+                if code == A_DEMAND_READ or code == A_PF_READ:
+                    ready = cread(address, now_mem)
+                    dram_reads += 1
+                    if extra_read:
+                        maddr = meta_address(address)
+                        completion = meta_inflight.get(maddr)
+                        if completion is None or completion <= now_mem:
+                            completion = cread(maddr, now_mem)
+                            dram_reads += 1
+                            meta_inflight[maddr] = completion
+                            meta_inflight.move_to_end(maddr)
+                            while len(meta_inflight) > 8:
+                                meta_inflight.popitem(last=False)
+                        ready = max(ready, completion)
+                    if code == A_DEMAND_READ:
+                        demand_latency = (ready - now_mem) * cpm + tail
+                else:  # the three writeback flavours
+                    accepted = cwrite(address, now_mem)
+                    dram_writes += 1
+                    if extra_write:
+                        maddr = meta_address(address)
+                        last = meta_recent.get(maddr)
+                        if last is None or now_mem - last >= merge_window:
+                            accepted = max(accepted, cwrite(maddr, now_mem))
+                            dram_writes += 1
+                            meta_recent[maddr] = now_mem
+                            meta_recent.move_to_end(maddr)
+                            while len(meta_recent) > 32:
+                                meta_recent.popitem(last=False)
+                    if code == A_VICTIM_WRITE:
+                        stall = (accepted - now_mem) * cpm
+                        if stall:
+                            backpressure_stalls += 1
+            if warm_l[i]:
+                warmup_events -= 1
+                if warmup_events == 0:
+                    base = snapshot()
+            kind = kind_l[i]
+            if kind and demand_latency:
+                latency = l1_llc_lat + demand_latency + stall
+                if kind == 1:  # serializing load: latency lands immediately
+                    correction[c] += latency
+                else:  # windowed load: stall resolved at the crossing op
+                    crossing = cross_l[i]
+                    if crossing < n_ops:
+                        out_c.append((crossing, now_cpu + cpi + latency))
+            i += 1
+            ev_i[c] = i
+            if i < n_ev:
+                if out_c or not marked[c]:
+                    advance(c, op_l[i])
+                t_next = base_l[i] + correction[c]
+                if heap:
+                    head = heap[0]
+                    if t_next < head[0] or (t_next == head[0] and c < head[1]):
+                        now_cpu = t_next
+                        continue
+                    heappush(heap, (t_next, c))
+                else:
+                    now_cpu = t_next
+                    continue
+            elif out_c or not marked[c]:
+                advance(c, n_ops - 1)
+            break
+
+    if base is None:
+        base = snapshot()
+    measured = [
+        content.final_time[c] + correction[c] - start_cycle[c]
+        for c in range(n_cores)
+    ]
+    return measured, base, snapshot(), backpressure_stalls
+
+
+def _timing_pass(
+    content: _ContentResult,
+    prof: WorkloadProfile,
+    organization,
+    config,
+    diagnostics: Optional[dict] = None,
+    reference_controller: bool = False,
+    mode: Optional[str] = None,
+) -> SystemResult:
+    if mode is None:
+        mode = _timing_mode
+    elif mode not in VALID_PASS_MODES:
+        raise ValueError(f"pass mode {mode!r} is not one of {VALID_PASS_MODES}")
+    controller = (
+        _ReferenceControllerAdapter()
+        if reference_controller
+        else _FastController(content.coords)
+    )
+    runner = _timing_batched if mode == "batched" else _timing_scalar
+    measured, base, now, backpressure_stalls = runner(
+        content, organization, controller
+    )
+    delta = {key: now[key] - base[key] for key in now}
+    llc_total = content.llc_hits_window + content.llc_misses_window
+    row_total = delta["row_hits"] + delta["row_misses"] + delta["row_conflicts"]
 
     if diagnostics is not None:
         diagnostics.update(
             {
                 "ops": content.n_ops,
-                "events": sum(len(evs) for evs in content.events),
+                "events": sum(table.n_ev for table in content.events),
                 "write_drains": controller.write_drains,
                 "backpressure_stalls": backpressure_stalls,
                 "inclusion_writebacks": content.inclusion_writebacks,

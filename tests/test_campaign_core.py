@@ -11,6 +11,7 @@ progress protocol — once, for every campaign family at a time.
 import json
 import os
 import threading
+import warnings
 
 import pytest
 
@@ -43,6 +44,13 @@ from repro.perf.campaign import (
 
 
 class TestResolveWorkers:
+    @pytest.fixture(autouse=True)
+    def _many_cpus(self, monkeypatch):
+        # Precedence tests pick counts like 6/8; pin the host's CPU
+        # count high so the oversubscription clamp never engages here
+        # (it has its own tests below).
+        monkeypatch.setattr("repro.campaign.progress.os.cpu_count", lambda: 64)
+
     def test_default_is_one(self, monkeypatch):
         monkeypatch.delenv(GENERIC_WORKERS_ENV, raising=False)
         assert resolve_workers() == 1
@@ -94,6 +102,54 @@ class TestResolveWorkers:
         # ...and the engine-specific variable still wins over it.
         monkeypatch.setenv(specific_env, "2")
         assert domain_resolve() == 2
+
+
+class TestResolveWorkersClamp:
+    """Oversubscription guard: counts above os.cpu_count() are clamped."""
+
+    @pytest.fixture(autouse=True)
+    def _two_cpus(self, monkeypatch):
+        monkeypatch.delenv(GENERIC_WORKERS_ENV, raising=False)
+        monkeypatch.setattr("repro.campaign.progress.os.cpu_count", lambda: 2)
+
+    def test_clamps_with_one_warning(self):
+        with pytest.warns(RuntimeWarning, match="clamping to 2") as record:
+            assert resolve_workers(8) == 2
+        assert len(record) == 1
+
+    def test_at_or_below_cpu_count_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(2) == 2
+            assert resolve_workers(1) == 1
+
+    def test_strict_keeps_the_request(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(8, strict=True) == 8
+
+    def test_clamp_applies_to_env_resolution_too(self, monkeypatch):
+        monkeypatch.setenv(GENERIC_WORKERS_ENV, "16")
+        with pytest.warns(RuntimeWarning, match="16 campaign workers"):
+            assert resolve_workers() == 2
+
+    @pytest.mark.parametrize(
+        "domain_resolve",
+        [mc_resolve_workers, perf_resolve_workers],
+    )
+    def test_domain_wrappers_clamp_and_pass_strict(self, domain_resolve):
+        with pytest.warns(RuntimeWarning):
+            assert domain_resolve(5) == 2
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert domain_resolve(5, strict=True) == 5
+
+    def test_unknown_cpu_count_clamps_to_one(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.campaign.progress.os.cpu_count", lambda: None
+        )
+        with pytest.warns(RuntimeWarning, match="1-CPU host"):
+            assert resolve_workers(4) == 1
 
 
 # -- atomic writes ---------------------------------------------------------------

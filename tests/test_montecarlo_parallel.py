@@ -83,6 +83,13 @@ class TestShardPlanning:
 
 
 class TestResolveWorkers:
+    @pytest.fixture(autouse=True)
+    def _many_cpus(self, monkeypatch):
+        # Keep the precedence assertions host-independent: the
+        # oversubscription clamp (tested in test_campaign_core) would
+        # otherwise rewrite 5/9 on small hosts.
+        monkeypatch.setattr("repro.campaign.progress.os.cpu_count", lambda: 64)
+
     def test_explicit_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_MC_WORKERS", "9")
         assert resolve_workers(3, MonteCarloConfig(workers=5)) == 3

@@ -1,0 +1,418 @@
+"""Equivalence suite for the fast perf engine's batched kernels.
+
+The batched content/timing passes (``REPRO_PERF_BATCH``) are exact
+rewrites of the scalar fast passes, pinned here from four directions:
+
+- **Pass-mode plumbing** — environment parsing, ``set_pass_modes``
+  validation, and the ``forced_passes`` test hook restoring state.
+- **Kernel properties** (hypothesis) — the per-set batched LRU kernels
+  (:func:`fastpath._l1_kernel`, :func:`fastpath._llc_kernel`) replayed
+  against straightforward dict/list LRU references over random access
+  streams, including primed LLC state and all three probe kinds.
+- **Whole-pass equivalence** — batched and scalar content passes agree
+  field-for-field (outcomes, event tables, counters) across workloads,
+  seeds, and both run-collapse settings; the batched and scalar timing
+  ticks produce identical :class:`SystemResult`s and diagnostics, with
+  the fast and the reference (A/B) controller.
+- **Scalar fallback** (pinned) — shrinking the cache geometry until LLC
+  evictions back-invalidate live L1 lines makes ``_batched_replay``
+  return ``None`` and the pass take the exact scalar replay; results
+  still match the scalar mode bit-for-bit and the fallback counter
+  records the event.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.workloads import profile
+from repro.perf import fastpath
+from repro.perf.model import PerfConfig
+from repro.perf.organizations import BASELINE_ECC, safeguard
+
+#: Small but mechanism-covering scale for whole-pass comparisons.
+SCALE = dict(n_cores=2, instructions_per_core=8_000, warmup_instructions=2_000)
+
+WORKLOADS = ["gcc", "mcf", "bwaves", "lbm"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    fastpath._CONTENT_MEMO.clear()
+    yield
+    fastpath._CONTENT_MEMO.clear()
+
+
+def _content(mode, workload, seed=0, **overrides):
+    params = {**SCALE, **overrides}
+    with fastpath.forced_passes(content=mode):
+        return fastpath._content_pass(
+            profile(workload),
+            params["n_cores"],
+            seed,
+            params["instructions_per_core"],
+            params["warmup_instructions"],
+        )
+
+
+def _assert_content_equal(a, b):
+    assert a.n_cores == b.n_cores
+    assert a.boundary_pos == b.boundary_pos
+    assert a.llc_hits_window == b.llc_hits_window
+    assert a.llc_misses_window == b.llc_misses_window
+    assert a.n_ops == b.n_ops
+    assert a.inclusion_writebacks == b.inclusion_writebacks
+    assert a.final_time == b.final_time
+    assert a.warm_op == b.warm_op
+    for c in range(a.n_cores):
+        assert a.check_time[c] == b.check_time[c]
+        ea, eb = a.events[c], b.events[c]
+        assert list(ea.op) == list(eb.op)
+        assert list(ea.pos) == list(eb.pos)
+        assert list(ea.base_time) == list(eb.base_time)
+        assert list(ea.crossing) == list(eb.crossing)
+        assert list(ea.kind) == list(eb.kind)
+        assert list(ea.warm) == list(eb.warm)
+        assert list(ea.act_off) == list(eb.act_off)
+        assert list(ea.actions) == list(eb.actions)
+        assert (ea.n_ev, ea.n_warm) == (eb.n_ev, eb.n_warm)
+
+
+# --- pass-mode plumbing ----------------------------------------------------
+
+
+class TestPassModePlumbing:
+    def test_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv(fastpath.PASS_MODE_ENV, raising=False)
+        assert fastpath._pass_mode_from_env() == "batched"
+
+    def test_env_selects_scalar(self, monkeypatch):
+        monkeypatch.setenv(fastpath.PASS_MODE_ENV, " Scalar ")
+        assert fastpath._pass_mode_from_env() == "scalar"
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(fastpath.PASS_MODE_ENV, "turbo")
+        with pytest.raises(ValueError, match="REPRO_PERF_BATCH"):
+            fastpath._pass_mode_from_env()
+
+    def test_set_pass_modes_validates(self):
+        with pytest.raises(ValueError):
+            fastpath.set_pass_modes(content="turbo")
+        with pytest.raises(ValueError):
+            fastpath.set_pass_modes(timing="turbo")
+
+    def test_forced_passes_restores_on_exit_and_error(self):
+        before = fastpath.pass_modes()
+        with fastpath.forced_passes("scalar", "scalar"):
+            assert fastpath.pass_modes() == ("scalar", "scalar")
+        assert fastpath.pass_modes() == before
+        with pytest.raises(RuntimeError):
+            with fastpath.forced_passes(content="scalar"):
+                raise RuntimeError("boom")
+        assert fastpath.pass_modes() == before
+
+    def test_forced_passes_partial_override(self):
+        before = fastpath.pass_modes()
+        with fastpath.forced_passes(timing="scalar"):
+            assert fastpath.pass_modes() == (before[0], "scalar")
+        assert fastpath.pass_modes() == before
+
+    def test_timing_pass_mode_argument_validates(self):
+        content = _content("batched", "gcc")
+        with pytest.raises(ValueError, match="pass mode"):
+            fastpath._timing_pass(
+                content, profile("gcc"), BASELINE_ECC, PerfConfig(**SCALE), mode="turbo"
+            )
+
+
+# --- kernel properties (hypothesis) ----------------------------------------
+
+
+def _ref_lru_l1(set_ids, lines, writes, ways):
+    """Dict/list LRU reference for the L1 kernel's per-probe outputs."""
+    state = {}
+    hit = np.zeros(len(lines), dtype=bool)
+    vline = np.full(len(lines), -1, dtype=np.int64)
+    vdirty = np.zeros(len(lines), dtype=bool)
+    for k, (s, ln, wr) in enumerate(zip(set_ids, lines, writes)):
+        entries = state.setdefault(s, [])
+        entry = next((e for e in entries if e[0] == ln), None)
+        if entry is not None:
+            hit[k] = True
+            entries.remove(entry)
+            entry[1] = entry[1] or wr
+            entries.append(entry)
+            continue
+        if len(entries) >= ways:
+            old = entries.pop(0)
+            vline[k], vdirty[k] = old[0], old[1]
+        entries.append([ln, bool(wr)])
+    return hit, vline, vdirty
+
+
+def _ref_llc(set_ids, lines, kinds, init_sets, ways):
+    """List LRU reference for the LLC kernel (demand/touch/prefetch)."""
+    state = [[[ln, bool(d)] for ln, d in llc_set.items()] for llc_set in init_sets]
+    hit = np.zeros(len(lines), dtype=bool)
+    vline = np.full(len(lines), -1, dtype=np.int64)
+    vdirty = np.zeros(len(lines), dtype=bool)
+    for k, (s, ln, kd) in enumerate(zip(set_ids, lines, kinds)):
+        entries = state[s]
+        entry = next((e for e in entries if e[0] == ln), None)
+        if entry is not None:
+            hit[k] = True
+            if kd <= 1:  # demand/touch refresh; prefetch hit is a no-op
+                entries.remove(entry)
+                entry[1] = entry[1] or kd == 1
+                entries.append(entry)
+            continue
+        if kd == 1:  # inclusion writeback: set untouched
+            continue
+        if len(entries) >= ways:
+            old = entries.pop(0)
+            vline[k], vdirty[k] = old[0], old[1]
+        entries.append([ln, False])
+    return hit, vline, vdirty
+
+
+class TestKernelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        probes=st.lists(
+            st.tuples(st.integers(0, 31), st.booleans()), max_size=150
+        ),
+        ways=st.integers(1, 4),
+        n_sets=st.sampled_from([1, 2, 4]),
+    )
+    def test_l1_kernel_matches_reference(self, probes, ways, n_sets):
+        lines = np.array([p[0] for p in probes], dtype=np.int64)
+        writes = np.array([p[1] for p in probes], dtype=bool)
+        set_ids = lines % n_sets
+        hit, vline, vdirty = fastpath._l1_kernel(set_ids, lines, writes, ways)
+        rhit, rvline, rvdirty = _ref_lru_l1(
+            set_ids.tolist(), lines.tolist(), writes.tolist(), ways
+        )
+        np.testing.assert_array_equal(hit, rhit)
+        np.testing.assert_array_equal(vline, rvline)
+        np.testing.assert_array_equal(vdirty, rvdirty)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        probes=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 2)), max_size=150
+        ),
+        fills=st.lists(
+            st.tuples(st.integers(0, 15), st.booleans()), max_size=40
+        ),
+        ways=st.integers(1, 3),
+        n_sets=st.sampled_from([1, 2, 4]),
+    )
+    def test_llc_kernel_matches_reference(self, probes, fills, ways, n_sets):
+        lines = np.array([p[0] for p in probes], dtype=np.int64)
+        kinds = np.array([p[1] for p in probes], dtype=np.int8)
+        set_ids = lines % n_sets
+        fill_lines = np.array([f[0] for f in fills], dtype=np.int64)
+        fill_dirty = np.array([f[1] for f in fills], dtype=bool)
+        tags = fastpath._initial_llc_arrays(fill_lines, fill_dirty, n_sets, ways)
+        init_sets = fastpath._initial_llc_sets(fill_lines, fill_dirty, n_sets, ways)
+        hit, vline, vdirty = fastpath._llc_kernel(set_ids, lines, kinds, tags, ways)
+        rhit, rvline, rvdirty = _ref_llc(
+            set_ids.tolist(), lines.tolist(), kinds.tolist(), init_sets, ways
+        )
+        np.testing.assert_array_equal(hit, rhit)
+        np.testing.assert_array_equal(vline, rvline)
+        np.testing.assert_array_equal(vdirty, rvdirty)
+
+    def test_initial_llc_arrays_matches_sets(self):
+        rng = np.random.default_rng(7)
+        fills = rng.integers(0, 64, size=200)
+        dirty = rng.random(200) < 0.3
+        ways, n_sets = 4, 8
+        tags = fastpath._initial_llc_arrays(fills, dirty, n_sets, ways)
+        sets = fastpath._initial_llc_sets(fills, dirty, n_sets, ways)
+        for s in range(n_sets):
+            resident = [
+                (int(t) >> 1, bool(int(t) & 1)) for t in tags[s] if int(t) >= 0
+            ]
+            assert resident == [(ln, bool(d)) for ln, d in sets[s].items()]
+
+
+# --- whole-pass equivalence ------------------------------------------------
+
+
+class TestContentPassEquivalence:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_batched_equals_scalar(self, workload, seed):
+        batched = _content("batched", workload, seed=seed)
+        scalar = _content("scalar", workload, seed=seed)
+        _assert_content_equal(batched, scalar)
+
+    @pytest.mark.parametrize("collapse", [True, False])
+    def test_equivalence_under_both_collapse_settings(self, monkeypatch, collapse):
+        monkeypatch.setattr(fastpath, "_COLLAPSE_RUNS", collapse)
+        batched = _content("batched", "mcf")
+        scalar = _content("scalar", "mcf")
+        _assert_content_equal(batched, scalar)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        workload=st.sampled_from(
+            ["perlbench", "gcc", "mcf", "omnetpp", "leela", "bwaves", "lbm", "roms"]
+        ),
+        seed=st.integers(0, 5),
+        instructions=st.integers(1_000, 5_000),
+        n_cores=st.integers(1, 2),
+        warmup=st.sampled_from([0, 400]),
+    )
+    def test_batched_equals_scalar_random_cells(
+        self, workload, seed, instructions, n_cores, warmup
+    ):
+        fastpath._CONTENT_MEMO.clear()
+        overrides = dict(
+            n_cores=n_cores,
+            instructions_per_core=instructions,
+            warmup_instructions=warmup,
+        )
+        batched = _content("batched", workload, seed=seed, **overrides)
+        scalar = _content("scalar", workload, seed=seed, **overrides)
+        _assert_content_equal(batched, scalar)
+
+    def test_batched_counter_increments(self):
+        before = fastpath._BATCH_STATS["batched"]
+        _content("batched", "gcc", seed=3)
+        assert fastpath._BATCH_STATS["batched"] == before + 1
+
+
+class TestTimingPassEquivalence:
+    @pytest.mark.parametrize("workload", ["gcc", "lbm"])
+    @pytest.mark.parametrize("organization", [BASELINE_ECC, safeguard()])
+    def test_batched_tick_equals_scalar_walk(self, workload, organization):
+        content = _content("batched", workload)
+        config = PerfConfig(**SCALE)
+        prof = profile(workload)
+        diag_b, diag_s = {}, {}
+        batched = fastpath._timing_pass(
+            content, prof, organization, config, diagnostics=diag_b, mode="batched"
+        )
+        scalar = fastpath._timing_pass(
+            content, prof, organization, config, diagnostics=diag_s, mode="scalar"
+        )
+        assert batched == scalar
+        assert diag_b == diag_s
+
+    def test_equivalence_holds_with_reference_controller(self):
+        content = _content("batched", "mcf")
+        config = PerfConfig(**SCALE)
+        prof = profile("mcf")
+        results = [
+            fastpath._timing_pass(
+                content, prof, safeguard(), config,
+                reference_controller=reference, mode=mode,
+            )
+            for mode in ("batched", "scalar")
+            for reference in (False, True)
+        ]
+        assert all(result == results[0] for result in results)
+
+
+# --- scalar fallback (pinned) ----------------------------------------------
+
+
+class TestScalarFallback:
+    @pytest.fixture()
+    def tiny_llc(self, monkeypatch):
+        """Shrink the hierarchy until the LLC back-invalidates L1 lines.
+
+        2 LLC sets x 2 ways hold 4 lines; the two cores' L1s (2 sets x
+        4 ways each) hold up to 16 — LLC evictions of still-live L1
+        lines are then guaranteed on a random-heavy workload, which is
+        exactly the cross-set interaction the batched decomposition
+        cannot replay.
+        """
+        monkeypatch.setattr(fastpath, "_L1_SET_BITS", 1)
+        monkeypatch.setattr(fastpath, "_LLC_SETS", 2)
+        monkeypatch.setattr(fastpath, "_LLC_WAYS", 2)
+
+    def test_back_invalidation_triggers_fallback(self, tiny_llc):
+        before = dict(fastpath._BATCH_STATS)
+        batched = _content("batched", "mcf", instructions_per_core=3_000,
+                           warmup_instructions=500)
+        assert fastpath._BATCH_STATS["fallbacks"] == before["fallbacks"] + 1
+        assert fastpath._BATCH_STATS["batched"] == before["batched"]
+        scalar = _content("scalar", "mcf", instructions_per_core=3_000,
+                          warmup_instructions=500)
+        _assert_content_equal(batched, scalar)
+
+    def test_default_geometry_never_falls_back(self):
+        before = dict(fastpath._BATCH_STATS)
+        for workload in WORKLOADS:
+            _content("batched", workload, seed=7)
+        assert fastpath._BATCH_STATS["fallbacks"] == before["fallbacks"]
+        assert fastpath._BATCH_STATS["batched"] == before["batched"] + len(WORKLOADS)
+
+
+# --- CLI / campaign integration --------------------------------------------
+
+
+class TestIntegration:
+    def test_run_workload_is_mode_invariant(self):
+        from repro.perf.model import run_workload
+
+        config = PerfConfig(engine="fast", **SCALE)
+        prof = profile("gcc")
+        for organization in (BASELINE_ECC, safeguard()):
+            with fastpath.forced_passes("batched", "batched"):
+                fastpath._CONTENT_MEMO.clear()
+                batched = run_workload(prof, organization, config)
+            with fastpath.forced_passes("scalar", "scalar"):
+                fastpath._CONTENT_MEMO.clear()
+                scalar = run_workload(prof, organization, config)
+            assert batched == scalar
+
+    def test_fingerprint_pins_kernel_revision(self):
+        from repro.perf.campaign import cell_fingerprint, plan_grid
+
+        cells = plan_grid([safeguard()], ["gcc"], [0])
+        fast = cell_fingerprint(cells[0], PerfConfig(engine="fast", **SCALE))
+        reference = cell_fingerprint(
+            cells[0], PerfConfig(engine="reference", **SCALE)
+        )
+        assert fast["kernel_revision"] == fastpath.KERNEL_REVISION
+        assert reference["kernel_revision"] == 0
+
+    def test_profiling_report_shape(self):
+        from repro.perf.profiling import PASSES, describe, profile_passes
+
+        report = profile_passes(
+            ["gcc"],
+            PerfConfig(n_cores=2, instructions_per_core=2_000,
+                       warmup_instructions=500),
+            top_n=5,
+        )
+        assert set(report["passes"]) == set(PASSES)
+        for section in report["passes"].values():
+            assert section["seconds"] >= 0.0
+            assert len(section["top"]) <= 5
+            for row in section["top"]:
+                assert {"function", "cumtime_s", "tottime_s", "ncalls"} <= set(row)
+        assert describe(report)  # renders without error
+
+    def test_profile_flag_rejected_off_grid(self):
+        from repro.experiments.runner import run_experiment
+
+        with pytest.raises(ValueError, match="--profile"):
+            run_experiment("table1", profile_to="/tmp/nope.json")
+
+    def test_oversubscribed_workers_warn_and_clamp(self, monkeypatch):
+        from repro.perf.campaign import resolve_workers
+
+        monkeypatch.setattr("repro.campaign.progress.os.cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="clamping to 2"):
+            assert resolve_workers(6) == 2
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(6, strict=True) == 6

@@ -262,6 +262,9 @@ def test_plan_grid_indexes_are_dense():
 
 
 def test_resolve_workers_precedence(monkeypatch):
+    # Pin the CPU count high so the oversubscription clamp (pinned in
+    # test_campaign_core) never rewrites the precedence picks here.
+    monkeypatch.setattr("repro.campaign.progress.os.cpu_count", lambda: 64)
     monkeypatch.delenv(WORKERS_ENV, raising=False)
     assert resolve_workers() == 1
     assert resolve_workers(3) == 3

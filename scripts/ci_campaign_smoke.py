@@ -14,6 +14,10 @@ grew out of:
 4. **Kill-and-resume**: a child process running the sweep is killed
    mid-campaign; the parent resumes from the partial store, recomputes
    only what is missing, and ends with identical results.
+5. **Kill-and-resume over the network**: the same death, but through a
+   live campaign server — the child's claims die with its socket, and
+   the parent's 2-worker resume through a fresh
+   :class:`RemoteResultStore` recomputes only the missing points.
 
 All cached campaigns write into ONE shared store directory (cells are
 fingerprint-named, so families cohabit), and the final step checks
@@ -174,6 +178,74 @@ def check_kill_and_resume(store: str, reference) -> None:
     )
 
 
+#: Child payload for the networked kill-and-resume check: same sweep,
+#: but every cell goes through a RemoteResultStore at argv[1]; hard-exit
+#: after the third point, abandoning its claims mid-lease.
+_REMOTE_CHILD = """
+import os, sys
+from repro.campaign import RemoteResultStore
+from repro.rowhammer.sweep import SweepConfig, plan_sweep, run_sweep
+
+cells = plan_sweep(
+    attacks=["double-sided", "half-double"],
+    mitigations=["none", "graphene"],
+    schemes=["secded", "safeguard-secded"],
+    seeds=[3],
+)
+
+def die_after_three(snap):
+    if snap.items_done >= 3:
+        os._exit(1)
+
+with RemoteResultStore(sys.argv[1]) as store:
+    run_sweep(cells, SweepConfig(budget=6_000), store=store,
+              progress=die_after_three)
+raise SystemExit("child was supposed to die mid-campaign")
+"""
+
+
+def check_kill_and_resume_remote(store: str, reference) -> None:
+    from repro.campaign import BackgroundServer, RemoteResultStore
+
+    remote_store = os.path.join(store, "served-sweep")
+    env = dict(
+        os.environ,
+        PYTHONPATH="src" + os.pathsep + os.environ.get("PYTHONPATH", ""),
+    )
+    with BackgroundServer(remote_store) as server:
+        child = subprocess.run(
+            [sys.executable, "-c", _REMOTE_CHILD, server.url],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert child.returncode == 1, (
+            f"child exited {child.returncode}, expected the kill"
+        )
+        partial = summarize_index(remote_store).get(
+            "hammer-sweep", {"completed": 0}
+        )
+        assert 0 < partial["completed"] < len(sweep_cells())
+        stats = []
+        with RemoteResultStore(server.url) as resume_store:
+            resumed = run_sweep(
+                sweep_cells(),
+                SWEEP_CONFIG,
+                workers=2,
+                store=resume_store,
+                progress=stats.append,
+            )
+    assert stats[-1].items_from_store == partial["completed"]
+    assert {k: v.to_json() for k, v in resumed.items()} == {
+        k: v.to_json() for k, v in reference.items()
+    }
+    print(
+        f"networked kill-and-resume OK: child died holding claims after "
+        f"{partial['completed']} points; 2-worker resume through the "
+        f"server recomputed only the remaining "
+        f"{len(sweep_cells()) - partial['completed']}"
+    )
+
+
 def check_status(store: str) -> None:
     summary = summarize_index(store)
     # 4 cells per engine; "mcf" keys repeat across engines (distinct
@@ -203,6 +275,7 @@ def main() -> int:
         check_sweep(store)
         reference = run_sweep(sweep_cells(), SWEEP_CONFIG)
         check_kill_and_resume(store, reference)
+        check_kill_and_resume_remote(store, reference)
         check_status(store)
     print("unified campaign smoke: all adapters OK")
     return 0

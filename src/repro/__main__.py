@@ -13,6 +13,10 @@ Usage::
     python -m repro fig7 --profile prof.json # + per-pass cProfile dump
     python -m repro hammer-sweep --workers 4 --cache-dir .sweep
     python -m repro campaign-status .sweep   # summarize a campaign store
+    python -m repro serve --store-dir .shared --port 7797
+    python -m repro fig7 --store-url HOST:7797      # shared networked cache
+    python -m repro submit HOST:7797 hammer-sweep --watch
+    python -m repro campaign-status --remote HOST:7797
     python -m repro all                      # everything (interactive scale)
 
 ``--workers N`` fans the Monte-Carlo reliability experiments
@@ -31,12 +35,25 @@ checkpoints never cross engines. ``--cache-dir PATH`` persists one verified JSON
 result per campaign cell (the performance figures fig7/fig11/fig12/fig13
 and the ``hammer-sweep`` attack campaign): a killed or re-scoped campaign
 recomputes only the cells it is missing. ``campaign-status DIR`` reads the
-store's append-only index and prints per-campaign completion counts. The
+store's append-only index and prints per-campaign completion and
+failure counts (``--remote HOST:PORT`` asks a running campaign server
+instead). The
 generic ``REPRO_WORKERS`` parallelizes every campaign family at once; the
 engine-specific variables above take precedence over it. ``--profile
 PATH`` (fig7/fig11) additionally writes a per-pass cProfile breakdown of
 the fast perf engine — synthesis vs. content vs. timing, top functions
 by cumulative time — as JSON (see ``scripts/profile_fastpath.py``).
+
+Distributed serving: ``python -m repro serve --store-dir DIR`` starts
+the asyncio campaign server (shared fingerprint-verified result store +
+async job API; see ``repro.campaign.server``); ``--store-url HOST:PORT``
+on the campaign experiments (fig6/fig7/fig11/fig12/fig13/hammer-sweep)
+routes their cells through that shared store so concurrent runs divide
+a grid instead of recomputing it; ``python -m repro submit HOST:PORT
+KIND`` enqueues a server-side campaign job (``hammer-sweep`` / ``perf``
+/ ``faultsim``), ``--watch`` streaming its progress events.
+``REPRO_SCHEDULER=steal`` switches campaign fan-out to the work-stealing
+scheduler (persistent workers; same bit-identical results).
 """
 
 import sys
@@ -74,19 +91,112 @@ def _parse_workers(argv):
     return workers, remaining
 
 
-def _print_campaign_status(directory: str) -> int:
-    """Summarize a campaign store from its append-only index."""
-    from repro.campaign import summarize_index
+def _print_campaign_status(
+    directory=None, store_url=None
+) -> int:
+    """Summarize a campaign store (local index or a remote server's)."""
+    if store_url is not None:
+        from repro.campaign import CampaignClient
 
-    summary = summarize_index(directory)
+        with CampaignClient(store_url) as client:
+            summary = client.status()
+        source = f"server {store_url}"
+    else:
+        from repro.campaign import summarize_index
+
+        summary = summarize_index(directory)
+        source = repr(directory)
     if not summary:
-        print(f"no campaign index found in {directory!r}", file=sys.stderr)
+        print(f"no campaign index found in {source}", file=sys.stderr)
         return 1
     for name, counts in summary.items():
         print(
             f"{name:16} completed {counts['completed']:6}  "
-            f"cells {counts['cells']:6}  index entries {counts['entries']:6}"
+            f"cells {counts['cells']:6}  index entries {counts['entries']:6}  "
+            f"failures {counts.get('failures', 0):6}"
         )
+    return 0
+
+
+def _serve(argv) -> int:
+    """``python -m repro serve``: the asyncio campaign server."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve a shared campaign result store + job API.",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=".campaign-store",
+        help="directory backing the shared result store",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    from repro.campaign.wire import DEFAULT_PORT
+
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="default worker count for submitted jobs",
+    )
+    args = parser.parse_args(argv)
+    from repro.campaign.server import run_server
+
+    run_server(
+        args.store_dir, host=args.host, port=args.port, workers=args.workers
+    )
+    return 0
+
+
+def _submit(argv) -> int:
+    """``python -m repro submit``: enqueue a job on a campaign server."""
+    import argparse
+    import json
+
+    from repro.campaign.server import JOB_KINDS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="Submit a campaign job to a running server.",
+    )
+    parser.add_argument("url", help="server address, HOST:PORT")
+    parser.add_argument("kind", choices=sorted(JOB_KINDS))
+    parser.add_argument(
+        "--params",
+        default="{}",
+        help='job parameters as JSON, e.g. \'{"schemes": ["secded"]}\'',
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream progress events and wait for the job to finish",
+    )
+    args = parser.parse_args(argv)
+    try:
+        params = json.loads(args.params)
+    except ValueError as error:
+        print(f"--params is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    from repro.campaign import CampaignClient
+
+    with CampaignClient(args.url) as client:
+        job_id = client.submit(args.kind, params)
+        print(f"submitted {job_id} ({args.kind}) to {args.url}")
+        if not args.watch:
+            return 0
+        state = "running"
+        for event in client.watch(job_id):
+            if event.get("event") == "progress":
+                print(f"  {event.get('describe', '')}", file=sys.stderr)
+            elif event.get("event") == "end":
+                state = event.get("state", "done")
+                if event.get("error"):
+                    print(f"{job_id} failed: {event['error']}", file=sys.stderr)
+        if state != "done":
+            return 1
+        print(json.dumps(client.job_results(job_id), indent=2, sort_keys=True))
     return 0
 
 
@@ -105,6 +215,7 @@ def main(argv=None) -> int:
         engine, argv = _parse_option(argv, "--engine", str)
         cache_dir, argv = _parse_option(argv, "--cache-dir", str)
         profile_to, argv = _parse_option(argv, "--profile", str)
+        store_url, argv = _parse_option(argv, "--store-url", str)
         if engine is not None:
             # Both engine switches recognize the same names; the runner
             # resolves against the right module per experiment.
@@ -127,11 +238,22 @@ def main(argv=None) -> int:
     if name == "schemes":
         _print_schemes()
         return 0
+    if name == "serve":
+        return _serve(argv[1:])
+    if name == "submit":
+        return _submit(argv[1:])
     if name == "campaign-status":
-        if len(argv) != 2:
-            print("usage: python -m repro campaign-status CACHE_DIR", file=sys.stderr)
-            return 2
-        return _print_campaign_status(argv[1])
+        remote, rest = _parse_option(argv[1:], "--remote", str)
+        if remote is not None and not rest:
+            return _print_campaign_status(store_url=remote)
+        if remote is None and len(rest) == 1:
+            return _print_campaign_status(rest[0])
+        print(
+            "usage: python -m repro campaign-status CACHE_DIR | "
+            "--remote HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
     if name == "all":
         run_all(workers=workers)
         return 0
@@ -143,6 +265,7 @@ def main(argv=None) -> int:
             engine=engine,
             cache_dir=cache_dir,
             profile_to=profile_to,
+            store_url=store_url,
         )
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else error

@@ -9,17 +9,32 @@ package:
 - :mod:`repro.campaign.engine` — the :class:`Campaign` work-item
   contract and the retrying, group-scheduling, store-backed executor
   (:func:`run_campaign`);
+- :mod:`repro.campaign.scheduler` — the work-stealing alternative
+  fan-out (persistent workers, heartbeat supervision), selected by
+  ``run_campaign(..., scheduler="steal")`` / ``REPRO_SCHEDULER``;
 - :mod:`repro.campaign.store` — the atomic, fingerprint-verified JSON
   :class:`ResultStore` with its append-only completion index;
+- :mod:`repro.campaign.server` / :mod:`repro.campaign.client` — the
+  same store served over TCP (:class:`RemoteResultStore`) plus the
+  async job front door (``python -m repro serve`` / ``submit``);
 - :mod:`repro.campaign.progress` — shared rate/ETA/fraction progress
   accounting and the repo-wide worker-count resolution
   (``REPRO_WORKERS`` generic fallback).
 
 See the "campaign layer" section of ``docs/architecture.md`` for the
-adapter diagram and the add-a-campaign recipe.
+adapter diagram, the add-a-campaign recipe, and the distributed
+(serve-a-campaign) recipe.
 """
 
-from repro.campaign.engine import Campaign, CampaignError, run_campaign
+from repro.campaign.client import CampaignClient, RemoteResultStore
+from repro.campaign.engine import (
+    SCHEDULER_ENV,
+    SCHEDULERS,
+    Campaign,
+    CampaignError,
+    resolve_scheduler,
+    run_campaign,
+)
 from repro.campaign.progress import (
     GENERIC_WORKERS_ENV,
     CampaignProgress,
@@ -27,6 +42,8 @@ from repro.campaign.progress import (
     ProgressCallback,
     resolve_workers,
 )
+from repro.campaign.scheduler import run_campaign_stealing
+from repro.campaign.server import BackgroundServer, CampaignServer, ServerActivity
 from repro.campaign.store import (
     INDEX_NAME,
     STORE_VERSION,
@@ -41,6 +58,15 @@ __all__ = [
     "Campaign",
     "CampaignError",
     "run_campaign",
+    "run_campaign_stealing",
+    "resolve_scheduler",
+    "SCHEDULER_ENV",
+    "SCHEDULERS",
+    "RemoteResultStore",
+    "CampaignClient",
+    "CampaignServer",
+    "BackgroundServer",
+    "ServerActivity",
     "CampaignProgress",
     "ProgressBase",
     "ProgressCallback",

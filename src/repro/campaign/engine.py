@@ -6,21 +6,33 @@ described by a science fingerprint. This module owns every mechanism
 those campaigns share, exactly once:
 
 - **store scan** — verified results load from the :class:`ResultStore`
-  (rejections counted by reason) so a killed campaign resumes;
-- **fan-out** — pending items go to a ``ProcessPoolExecutor`` as
-  *groups* (``Campaign.group_key``), so engines whose items share
-  expensive per-process state (the perf engine's memoized content pass,
-  the sweep's per-attack simulation) keep that sharing under any worker
-  count;
-- **retry** — a worker crash (``BrokenProcessPool``) re-runs the
-  unfinished groups in a fresh pool with bounded exponential backoff;
-  a group that keeps killing workers eventually raises
-  :class:`CampaignError`. Deterministic exceptions raised *by* an item
-  propagate immediately (retrying them cannot help);
+  (rejections counted by reason) so a killed campaign resumes; stores
+  that coordinate several clients (:class:`repro.campaign.client.
+  RemoteResultStore`) may answer ``"inflight"`` — *another client is
+  computing this cell* — and those items are awaited after the local
+  batch instead of recomputed;
+- **fan-out** — pending items go to worker processes as *groups*
+  (``Campaign.group_key``), so engines whose items share expensive
+  per-process state (the perf engine's memoized content pass, the
+  sweep's per-attack simulation) keep that sharing under any worker
+  count. Two schedulers implement the fan-out: ``"pool"`` (a
+  ``ProcessPoolExecutor`` round per retry attempt, the historical
+  default) and ``"steal"`` (persistent workers pulling groups from a
+  shared queue with heartbeat/timeout supervision; see
+  :mod:`repro.campaign.scheduler`);
+- **retry** — a worker crash (``BrokenProcessPool`` under the pool
+  scheduler, a dead or hung worker process under the stealing one)
+  re-runs the unfinished groups with a bounded per-group attempt
+  budget; a group that keeps killing workers eventually raises
+  :class:`CampaignError`. Pool-scheduler retry rounds back off
+  exponentially with bounded, seedable jitter so simultaneous retries
+  against a shared store don't stampede it. Deterministic exceptions
+  raised *by* an item propagate immediately (retrying them cannot
+  help);
 - **determinism** — results are keyed by item index, every item is a
   pure function of its fingerprint, and loaded cells are verified in
-  full, so the returned mapping is bit-identical for any worker count
-  and any completion order;
+  full, so the returned mapping is bit-identical for any worker count,
+  any scheduler, and any completion/steal order;
 - **progress** — a :class:`CampaignProgress` snapshot after every
   completed or store-loaded item.
 
@@ -33,6 +45,8 @@ the items themselves.
 
 from __future__ import annotations
 
+import os
+import random
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -40,10 +54,18 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.campaign.progress import CampaignProgress
 from repro.campaign.store import ResultStore, fingerprint_digest
+
+#: Environment fallback for the fan-out scheduler when the call does not
+#: pin one: ``pool`` (fresh executor per retry round) or ``steal``
+#: (persistent work-stealing workers; :mod:`repro.campaign.scheduler`).
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+
+#: The fan-out schedulers :func:`run_campaign` can dispatch to.
+SCHEDULERS = ("pool", "steal")
 
 
 class CampaignError(RuntimeError):
@@ -112,7 +134,8 @@ class Campaign:
         return 1
 
     def result_failures(self, result) -> int:
-        """Failure events in a result (surfaced in progress snapshots)."""
+        """Failure events in a result (surfaced in progress snapshots
+        and recorded on the store's index entries)."""
         return 0
 
 
@@ -121,117 +144,228 @@ def _run_group(campaign: Campaign, items: Sequence[Any]) -> List[Any]:
     return [(item.index, campaign.run_item(item)) for item in items]
 
 
+def resolve_scheduler(scheduler: Optional[str] = None) -> str:
+    """Explicit argument > ``REPRO_SCHEDULER`` > ``"pool"``."""
+    if scheduler is None:
+        scheduler = os.environ.get(SCHEDULER_ENV, "").strip() or "pool"
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; known: {', '.join(SCHEDULERS)}"
+        )
+    return scheduler
+
+
+class _CampaignRun:
+    """Shared bookkeeping for one campaign execution, whatever the
+    scheduler: the store scan, per-item completion accounting (store
+    write + progress snapshot), and the await loop for cells another
+    client is computing."""
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        items: Sequence[Any],
+        *,
+        store_dir: Optional[str],
+        store,
+        progress: Optional[Callable[[CampaignProgress], None]],
+    ):
+        self.campaign = campaign
+        self.items = list(items)
+        self.fingerprints = {
+            item.index: campaign.fingerprint(item) for item in self.items
+        }
+        if store is None and store_dir:
+            store = ResultStore(store_dir, index_results=campaign.index_results)
+        self.store = store
+        self.progress = progress
+        self.results: Dict[int, Any] = {}
+        self.state = {
+            "from_store": 0,
+            "units_done": 0,
+            "failures": 0,
+            "rejected_corrupt": 0,
+            "rejected_stale": 0,
+        }
+        self.units_total = sum(campaign.item_units(item) for item in self.items)
+        self.started = time.monotonic()
+
+    def report(self) -> None:
+        if self.progress is None:
+            return
+        self.progress(
+            CampaignProgress(
+                items_done=len(self.results),
+                items_total=len(self.items),
+                items_from_store=self.state["from_store"],
+                units_done=self.state["units_done"],
+                units_total=self.units_total,
+                failures=self.state["failures"],
+                elapsed_s=time.monotonic() - self.started,
+                rejected_corrupt=self.state["rejected_corrupt"],
+                rejected_stale=self.state["rejected_stale"],
+            )
+        )
+
+    def account(self, item, result) -> None:
+        self.results[item.index] = result
+        self.state["units_done"] += self.campaign.item_units(item)
+        self.state["failures"] += self.campaign.result_failures(result)
+
+    def cell_name(self, item) -> str:
+        return self.campaign.cell_name(item, self.fingerprints[item.index])
+
+    def _try_load(self, item, payload) -> Optional[Any]:
+        """Deserialize a stored payload; ``None`` marks it corrupt."""
+        try:
+            return self.campaign.deserialize_result(item, payload)
+        except (ValueError, KeyError, TypeError, IndexError):
+            return None
+
+    def scan(self) -> Tuple[List[Any], List[Any]]:
+        """Load verified cells; returns ``(pending, inflight)`` items.
+
+        ``inflight`` items are cells a coordinating store reported
+        another client is currently computing; they are awaited via
+        :meth:`await_inflight` after the local batch runs.
+        """
+        pending: List[Any] = []
+        inflight: List[Any] = []
+        for item in self.items:
+            reason: Optional[str] = "absent"
+            payload = None
+            if self.store is not None:
+                payload, reason = self.store.load(
+                    self.cell_name(item), self.fingerprints[item.index]
+                )
+            if reason is None:
+                result = self._try_load(item, payload)
+                if result is None:
+                    reason = "corrupt"
+                else:
+                    self.account(item, result)
+                    self.state["from_store"] += 1
+                    self.report()
+                    continue
+            if reason == "inflight" and hasattr(self.store, "load_wait"):
+                inflight.append(item)
+                continue
+            if reason == "corrupt":
+                self.state["rejected_corrupt"] += 1
+            elif reason == "stale":
+                self.state["rejected_stale"] += 1
+            pending.append(item)
+        return pending, inflight
+
+    def await_inflight(self, inflight: Sequence[Any]) -> List[Any]:
+        """Block on cells other clients were computing.
+
+        Each waits until the cell is stored (a shared-store cache hit)
+        or until this client wins the claim for it (the producer died or
+        timed out) — those come back as a second pending batch.
+        """
+        pending: List[Any] = []
+        for item in inflight:
+            payload, reason = self.store.load_wait(
+                self.cell_name(item), self.fingerprints[item.index]
+            )
+            result = self._try_load(item, payload) if reason is None else None
+            if result is not None:
+                self.account(item, result)
+                self.state["from_store"] += 1
+                self.report()
+            else:
+                pending.append(item)
+        return pending
+
+    def finish(self, item, result) -> None:
+        """Account one computed item: store, index, progress."""
+        self.account(item, result)
+        if self.store is not None:
+            fingerprint = self.fingerprints[item.index]
+            self.store.store(
+                self.cell_name(item),
+                fingerprint,
+                self.campaign.serialize_result(item, result),
+                campaign=self.campaign.name if self.campaign.index_results else None,
+                key=self.campaign.item_key(item),
+                failures=self.campaign.result_failures(result),
+            )
+        self.report()
+
+
 def run_campaign(
     campaign: Campaign,
     items: Sequence[Any],
     *,
     workers: int = 1,
     store_dir: Optional[str] = None,
+    store=None,
     progress: Optional[Callable[[CampaignProgress], None]] = None,
     max_attempts: int = 3,
     backoff_s: float = 0.5,
     max_backoff_s: float = 4.0,
+    backoff_jitter: float = 0.25,
+    jitter_seed: Optional[int] = None,
+    scheduler: Optional[str] = None,
 ) -> Dict[int, Any]:
     """Run every item; returns results keyed by ``item.index``.
 
     ``workers == 1`` runs items in-process in index order (no pool),
     which still exercises the store and progress reporting. The output
-    mapping is independent of worker count and completion order.
+    mapping is independent of worker count, scheduler, and completion
+    order.
+
+    ``store`` accepts a ready store object (anything with the
+    :class:`ResultStore` ``load``/``store`` contract — e.g. a
+    :class:`repro.campaign.client.RemoteResultStore` sharing cells over
+    the network); ``store_dir`` builds a local directory store.
+    ``scheduler`` picks the fan-out strategy (``"pool"``/``"steal"``;
+    default ``REPRO_SCHEDULER`` or ``"pool"``). Pool-scheduler crash
+    retries back off exponentially, stretched by a bounded random
+    jitter in ``[1, 1 + backoff_jitter]`` — seedable via
+    ``jitter_seed`` so tests are deterministic — so simultaneous group
+    retries don't stampede a shared store.
     """
-    items = list(items)
-    fingerprints = {item.index: campaign.fingerprint(item) for item in items}
-    store = (
-        ResultStore(store_dir, index_results=campaign.index_results)
-        if store_dir
-        else None
+    scheduler = resolve_scheduler(scheduler)
+    run = _CampaignRun(
+        campaign, items, store_dir=store_dir, store=store, progress=progress
     )
 
-    results: Dict[int, Any] = {}
-    state = {
-        "from_store": 0,
-        "units_done": 0,
-        "failures": 0,
-        "rejected_corrupt": 0,
-        "rejected_stale": 0,
-    }
-    units_total = sum(campaign.item_units(item) for item in items)
-    started = time.monotonic()
-
-    def report() -> None:
-        if progress is None:
+    def execute(batch: List[Any]) -> None:
+        if not batch:
             return
-        progress(
-            CampaignProgress(
-                items_done=len(results),
-                items_total=len(items),
-                items_from_store=state["from_store"],
-                units_done=state["units_done"],
-                units_total=units_total,
-                failures=state["failures"],
-                elapsed_s=time.monotonic() - started,
-                rejected_corrupt=state["rejected_corrupt"],
-                rejected_stale=state["rejected_stale"],
-            )
-        )
+        if workers == 1:
+            for item in batch:
+                run.finish(item, campaign.run_item(item))
+        elif scheduler == "steal":
+            from repro.campaign.scheduler import run_stealing
 
-    def account(item, result) -> None:
-        results[item.index] = result
-        state["units_done"] += campaign.item_units(item)
-        state["failures"] += campaign.result_failures(result)
-
-    pending: List[Any] = []
-    for item in items:
-        reason: Optional[str] = "absent"
-        payload = None
-        if store is not None:
-            payload, reason = store.load(
-                campaign.cell_name(item, fingerprints[item.index]),
-                fingerprints[item.index],
+            run_stealing(
+                campaign,
+                batch,
+                workers,
+                run.finish,
+                max_attempts=max_attempts,
             )
-        if reason is None:
-            try:
-                result = campaign.deserialize_result(item, payload)
-            except (ValueError, KeyError, TypeError, IndexError):
-                reason = "corrupt"
-        if reason is None:
-            account(item, result)
-            state["from_store"] += 1
-            report()
         else:
-            if reason == "corrupt":
-                state["rejected_corrupt"] += 1
-            elif reason == "stale":
-                state["rejected_stale"] += 1
-            pending.append(item)
-
-    def finish(item, result) -> None:
-        account(item, result)
-        if store is not None:
-            fingerprint = fingerprints[item.index]
-            store.store(
-                campaign.cell_name(item, fingerprint),
-                fingerprint,
-                campaign.serialize_result(item, result),
-                campaign=campaign.name,
-                key=campaign.item_key(item),
+            _fan_out(
+                campaign,
+                batch,
+                workers,
+                run.finish,
+                max_attempts=max_attempts,
+                backoff_s=backoff_s,
+                max_backoff_s=max_backoff_s,
+                backoff_jitter=backoff_jitter,
+                jitter_seed=jitter_seed,
             )
-        report()
 
-    if workers == 1:
-        for item in pending:
-            finish(item, campaign.run_item(item))
-    elif pending:
-        _fan_out(
-            campaign,
-            pending,
-            workers,
-            finish,
-            max_attempts=max_attempts,
-            backoff_s=backoff_s,
-            max_backoff_s=max_backoff_s,
-        )
-
-    return results
+    pending, inflight = run.scan()
+    execute(pending)
+    if inflight:
+        execute(run.await_inflight(inflight))
+    return run.results
 
 
 def _fan_out(
@@ -243,12 +377,15 @@ def _fan_out(
     max_attempts: int,
     backoff_s: float,
     max_backoff_s: float,
+    backoff_jitter: float = 0.25,
+    jitter_seed: Optional[int] = None,
 ) -> None:
     """Pool fan-out with group scheduling and crash retry."""
     groups: Dict[Hashable, List[Any]] = {}
     for item in pending:
         groups.setdefault(campaign.group_key(item), []).append(item)
 
+    rng = random.Random(jitter_seed)
     remaining = dict(groups)
     attempts = {key: 0 for key in groups}
     while remaining:
@@ -293,4 +430,8 @@ def _fan_out(
                 f"the worker pool {max_attempts} time(s); giving up"
             )
         retry = max(attempts[key] for key in remaining)
-        time.sleep(min(backoff_s * (2 ** (retry - 1)), max_backoff_s))
+        base = min(backoff_s * (2 ** (retry - 1)), max_backoff_s)
+        # Stretch (never shorten) by bounded jitter so simultaneous
+        # retrying campaigns desynchronize instead of stampeding a
+        # shared store in lock step.
+        time.sleep(base * (1.0 + max(0.0, backoff_jitter) * rng.random()))

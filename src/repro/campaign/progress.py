@@ -18,7 +18,9 @@ field > domain-specific environment variable (``REPRO_MC_WORKERS``,
 
 from __future__ import annotations
 
+import copy
 import os
+import threading
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -78,6 +80,11 @@ def resolve_workers(
     return workers
 
 
+#: Guards the lazy creation of each instance's mutation lock (two
+#: threads racing the *first* mutation must end up with one lock).
+_LOCK_GUARD = threading.Lock()
+
+
 class ProgressBase:
     """Rate/ETA/fraction accounting over generic progress attributes.
 
@@ -102,6 +109,50 @@ class ProgressBase:
     ITEM_NOUN = "item"
     RATE_NOUN: Optional[str] = None  # defaults to ITEM_NOUN + "s"
     RATE_FMT = ",.0f"
+
+    # -- concurrent mutation -----------------------------------------------------
+    #
+    # Most progress objects are immutable snapshots emitted by a single
+    # campaign parent. The campaign *server*, however, keeps live
+    # ProgressBase instances that several threads mutate at once — the
+    # asyncio loop thread accounting requests while job-runner executor
+    # threads account campaign progress. Those writers must go through
+    # :meth:`update`/:meth:`advance`, and readers that need a consistent
+    # view take :meth:`snapshot`; all three share one per-instance lock.
+    # Direct attribute reads (``describe`` on an emitted snapshot) stay
+    # lock-free, exactly as before.
+
+    def _sync(self) -> threading.RLock:
+        lock = self.__dict__.get("_lock")
+        if lock is None:
+            with _LOCK_GUARD:
+                lock = self.__dict__.setdefault("_lock", threading.RLock())
+        return lock
+
+    def update(self, **fields) -> None:
+        """Atomically set attribute values (thread-safe)."""
+        with self._sync():
+            for name, value in fields.items():
+                setattr(self, name, value)
+
+    def advance(self, **deltas) -> None:
+        """Atomically add to counter attributes (thread-safe)."""
+        with self._sync():
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self):
+        """A consistent shallow copy, safe to read/serialize lock-free."""
+        with self._sync():
+            clone = copy.copy(self)
+        clone.__dict__.pop("_lock", None)
+        return clone
+
+    def __getstate__(self):
+        # Locks don't pickle; a revived instance re-creates one lazily.
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
 
     @property
     def rate(self) -> float:

@@ -124,8 +124,14 @@ class ResultStore:
         *,
         campaign: Optional[str] = None,
         key: Any = None,
+        failures: int = 0,
     ) -> None:
-        """Atomically persist one cell and append it to the index."""
+        """Atomically persist one cell and append it to the index.
+
+        ``failures`` is the domain's failure count for the result
+        (``Campaign.result_failures``); it rides on the index entry so
+        ``campaign-status`` can total failures without opening a cell.
+        """
         payload = {
             "version": STORE_VERSION,
             "fingerprint": fingerprint,
@@ -133,7 +139,12 @@ class ResultStore:
         }
         atomic_write_json(self.path(cell_name), payload)
         if self.index_results and campaign is not None:
-            entry = {"campaign": campaign, "key": key, "cell": cell_name}
+            entry = {
+                "campaign": campaign,
+                "key": key,
+                "cell": cell_name,
+                "failures": int(failures),
+            }
             line = json.dumps(entry, sort_keys=True)
             # A single small write on an O_APPEND descriptor is atomic on
             # POSIX, so concurrent campaigns interleave whole lines.
@@ -167,30 +178,38 @@ def read_index(directory: str) -> List[dict]:
 
 
 def summarize_index(directory: str) -> Dict[str, Dict[str, int]]:
-    """Per-campaign completion counts from the index alone.
+    """Per-campaign completion and failure counts from the index alone.
 
     Returns ``{campaign: {"completed": distinct item keys, "cells":
-    distinct cell files, "entries": raw index lines}}``. Re-running a
-    campaign re-appends its items, so ``entries`` exceeding
-    ``completed`` simply means cells were rewritten (same science, same
-    key) — not duplicated work.
+    distinct cell files, "entries": raw index lines, "failures": domain
+    failure events summed over cells}}``. Re-running a campaign
+    re-appends its items, so ``entries`` exceeding ``completed`` simply
+    means cells were rewritten (same science, same key) — not
+    duplicated work; each cell's failure count is taken from its latest
+    entry, so rewrites never double-count failures (entries written
+    before the index carried failure counts contribute zero).
     """
     summary: Dict[str, Dict[str, Any]] = {}
     for entry in read_index(directory):
         name = str(entry["campaign"])
         bucket = summary.setdefault(
-            name, {"keys": set(), "cells": set(), "entries": 0}
+            name, {"keys": set(), "cells": set(), "entries": 0, "fail_by_cell": {}}
         )
         bucket["entries"] += 1
         bucket["keys"].add(json.dumps(entry.get("key"), sort_keys=True))
         cell = entry.get("cell")
         if cell:
             bucket["cells"].add(cell)
+            failures = entry.get("failures")
+            bucket["fail_by_cell"][cell] = (
+                int(failures) if isinstance(failures, (int, float)) else 0
+            )
     return {
         name: {
             "completed": len(bucket["keys"]),
             "cells": len(bucket["cells"]),
             "entries": bucket["entries"],
+            "failures": sum(bucket["fail_by_cell"].values()),
         }
         for name, bucket in sorted(summary.items())
     }

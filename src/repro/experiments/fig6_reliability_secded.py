@@ -30,12 +30,15 @@ def run(
     progress: Optional[ProgressCallback] = None,
     schemes: "tuple[str, ...]" = SCHEMES,
     engine: Optional[str] = None,
+    store=None,
 ) -> List[ReliabilityResult]:
     """``workers``/``REPRO_MC_WORKERS`` parallelize without changing output.
 
     ``engine`` picks the Monte-Carlo engine (``"fast"``/``"reference"``;
     default: ``REPRO_FAULTSIM`` or reference) — statistically equivalent
-    curves, not bit-identical ones.
+    curves, not bit-identical ones. ``store`` shares shard results
+    through a ready store object (e.g. a networked
+    :class:`repro.campaign.RemoteResultStore`).
     """
     config = MonteCarloConfig(
         n_modules=n_modules, seed=seed, workers=workers, engine=engine
@@ -43,7 +46,9 @@ def run(
     geometry = X8_SECDED_16GB
     evaluators = [evaluator_for(name, geometry) for name in schemes]
     return [
-        simulate_parallel(evaluator, geometry, config, progress=progress)
+        simulate_parallel(
+            evaluator, geometry, config, store=store, progress=progress
+        )
         for evaluator in evaluators
     ]
 

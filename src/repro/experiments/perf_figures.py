@@ -49,6 +49,7 @@ def _run(
     config: PerfConfig,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    store=None,
     progress: Optional[ProgressCallback] = None,
     engine: Optional[str] = None,
 ) -> PerfFigure:
@@ -71,6 +72,7 @@ def _run(
         config=config,
         workers=workers,
         cache_dir=cache_dir,
+        store=store,
         progress=progress,
     )
     return PerfFigure([o.name for o in organizations], results)
@@ -82,6 +84,7 @@ def run_fig7(
     scheme: str = "safeguard-secded",
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    store=None,
     progress: Optional[ProgressCallback] = None,
     engine: Optional[str] = None,
 ) -> PerfFigure:
@@ -92,6 +95,7 @@ def run_fig7(
         config or PerfConfig(),
         workers=workers,
         cache_dir=cache_dir,
+        store=store,
         progress=progress,
         engine=engine,
     )
@@ -104,6 +108,7 @@ def run_fig12(
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
     engine: Optional[str] = None,
+    store=None,
 ) -> PerfFigure:
     """Figure 12: SafeGuard vs. SGX-style vs. Synergy-style MAC."""
     return _run(
@@ -114,6 +119,7 @@ def run_fig12(
         cache_dir=cache_dir,
         progress=progress,
         engine=engine,
+        store=store,
     )
 
 
@@ -125,12 +131,13 @@ def run_fig13(
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
     engine: Optional[str] = None,
+    store=None,
 ) -> Dict[int, PerfFigure]:
     """Figure 13: sensitivity to MAC latency for the three organizations.
 
     The baseline cells are shared across latency points; with a
-    ``cache_dir`` the engine computes them once and reloads them for the
-    remaining points of the sweep.
+    ``cache_dir`` (or shared ``store``) the engine computes them once
+    and reloads them for the remaining points of the sweep.
     """
     config = config or PerfConfig()
     out: Dict[int, PerfFigure] = {}
@@ -143,6 +150,7 @@ def run_fig13(
             cache_dir=cache_dir,
             progress=progress,
             engine=engine,
+            store=store,
         )
     return out
 

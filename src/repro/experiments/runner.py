@@ -37,6 +37,32 @@ from repro.perf.model import PerfConfig
 from repro.rowhammer import sweep as hammer_sweep
 
 
+class _open_store:
+    """Context manager for an optional ``--store-url`` networked store.
+
+    ``None`` URL yields ``None`` (runners fall back to ``cache_dir`` /
+    local behaviour); otherwise yields a connected
+    :class:`repro.campaign.RemoteResultStore` and closes it — releasing
+    any claims the run still holds — when the experiment finishes.
+    """
+
+    def __init__(self, store_url: Optional[str]):
+        self.store_url = store_url
+        self.store = None
+
+    def __enter__(self):
+        if self.store_url is None:
+            return None
+        from repro.campaign import RemoteResultStore
+
+        self.store = RemoteResultStore(self.store_url)
+        return self.store
+
+    def __exit__(self, *exc) -> None:
+        if self.store is not None:
+            self.store.close()
+
+
 def _print_progress(stats: ProgressBase) -> None:
     """Carriage-return progress line for interactive parallel runs.
 
@@ -81,18 +107,21 @@ def _fig6(
     workers: Optional[int] = None,
     scheme: Optional[str] = None,
     engine: Optional[str] = None,
+    store_url: Optional[str] = None,
 ) -> None:
     progress = _print_progress if workers and workers > 1 else None
     schemes = (scheme,) if scheme else fig6_reliability_secded.SCHEMES
-    fig6_reliability_secded.report(
-        fig6_reliability_secded.run(
-            n_modules=100_000,
-            workers=workers,
-            progress=progress,
-            schemes=schemes,
-            engine=engine,
+    with _open_store(store_url) as store:
+        fig6_reliability_secded.report(
+            fig6_reliability_secded.run(
+                n_modules=100_000,
+                workers=workers,
+                progress=progress,
+                schemes=schemes,
+                engine=engine,
+                store=store,
+            )
         )
-    )
 
 
 def _fig10(
@@ -123,20 +152,23 @@ def _fig7(
     cache_dir: Optional[str] = None,
     engine: Optional[str] = None,
     profile_to: Optional[str] = None,
+    store_url: Optional[str] = None,
 ) -> None:
     progress = _print_progress if workers and workers > 1 else None
-    perf_figures.report_per_workload(
-        perf_figures.run_fig7(
-            workloads=_PERF_WORKLOADS,
-            config=_PERF_CONFIG,
-            scheme=scheme or "safeguard-secded",
-            workers=workers,
-            cache_dir=cache_dir,
-            progress=progress,
-            engine=engine,
-        ),
-        "Figure 7: SafeGuard vs. conventional ECC",
-    )
+    with _open_store(store_url) as store:
+        perf_figures.report_per_workload(
+            perf_figures.run_fig7(
+                workloads=_PERF_WORKLOADS,
+                config=_PERF_CONFIG,
+                scheme=scheme or "safeguard-secded",
+                workers=workers,
+                cache_dir=cache_dir,
+                store=store,
+                progress=progress,
+                engine=engine,
+            ),
+            "Figure 7: SafeGuard vs. conventional ECC",
+        )
     if profile_to:
         from repro.perf.organizations import BASELINE_ECC, organization_for
         from repro.perf.profiling import profile_passes, write_profile
@@ -154,54 +186,66 @@ def _fig12(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     engine: Optional[str] = None,
+    store_url: Optional[str] = None,
 ) -> None:
     progress = _print_progress if workers and workers > 1 else None
-    perf_figures.report_per_workload(
-        perf_figures.run_fig12(
-            workloads=_PERF_WORKLOADS,
-            config=_PERF_CONFIG,
-            workers=workers,
-            cache_dir=cache_dir,
-            progress=progress,
-            engine=engine,
-        ),
-        "Figure 12: per-line MAC organizations",
-    )
+    with _open_store(store_url) as store:
+        perf_figures.report_per_workload(
+            perf_figures.run_fig12(
+                workloads=_PERF_WORKLOADS,
+                config=_PERF_CONFIG,
+                workers=workers,
+                cache_dir=cache_dir,
+                store=store,
+                progress=progress,
+                engine=engine,
+            ),
+            "Figure 12: per-line MAC organizations",
+        )
 
 
 def _fig13(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     engine: Optional[str] = None,
+    store_url: Optional[str] = None,
 ) -> None:
     progress = _print_progress if workers and workers > 1 else None
-    perf_figures.report_fig13(
-        perf_figures.run_fig13(
-            latencies=(8, 40, 80),
-            workloads=["mcf", "omnetpp", "leela"],
-            config=_PERF_CONFIG,
-            workers=workers,
-            cache_dir=cache_dir,
-            progress=progress,
-            engine=engine,
+    with _open_store(store_url) as store:
+        perf_figures.report_fig13(
+            perf_figures.run_fig13(
+                latencies=(8, 40, 80),
+                workloads=["mcf", "omnetpp", "leela"],
+                config=_PERF_CONFIG,
+                workers=workers,
+                cache_dir=cache_dir,
+                store=store,
+                progress=progress,
+                engine=engine,
+            )
         )
-    )
 
 
 def _hammer_sweep(
     workers: Optional[int] = None,
     scheme: Optional[str] = None,
     cache_dir: Optional[str] = None,
+    store_url: Optional[str] = None,
 ) -> None:
     """The attack-sweep campaign: attacks x mitigations x organizations."""
     progress = _print_progress if workers and workers > 1 else None
     schemes = (scheme,) if scheme else hammer_sweep.DEFAULT_SCHEMES
     cells = hammer_sweep.plan_sweep(schemes=schemes)
-    hammer_sweep.report(
-        hammer_sweep.run_sweep(
-            cells, workers=workers, cache_dir=cache_dir, progress=progress
+    with _open_store(store_url) as store:
+        hammer_sweep.report(
+            hammer_sweep.run_sweep(
+                cells,
+                workers=workers,
+                cache_dir=cache_dir,
+                store=store,
+                progress=progress,
+            )
         )
-    )
 
 
 def _sec4b(workers: Optional[int] = None) -> None:
@@ -263,6 +307,14 @@ _PERF_ENGINE = frozenset({"fig7", "fig11", "fig12", "fig13"})
 #: :mod:`repro.perf.campaign` and :mod:`repro.rowhammer.sweep`).
 CACHE_AWARE = frozenset({"fig7", "fig11", "fig12", "fig13", "hammer-sweep"})
 
+#: Experiments that accept ``--store-url HOST:PORT``: their campaign
+#: cells go through a shared networked result store served by ``python
+#: -m repro serve`` instead of a local cache directory (see
+#: :mod:`repro.campaign.server`). Mutually exclusive with --cache-dir.
+STORE_URL_AWARE = frozenset(
+    {"fig6", "fig7", "fig11", "fig12", "fig13", "hammer-sweep"}
+)
+
 #: Experiments that accept ``--profile PATH``: after the figure runs,
 #: the fast perf engine's passes are cProfiled per pass over the same
 #: grid and the breakdown written as JSON (repro.perf.profiling).
@@ -280,15 +332,17 @@ def run_experiment(
     engine: Optional[str] = None,
     cache_dir: Optional[str] = None,
     profile_to: Optional[str] = None,
+    store_url: Optional[str] = None,
 ) -> None:
     """Run one experiment by name; raises KeyError for unknown names.
 
     ``scheme`` (a registry name) restricts scheme-aware experiments to a
     single organization; ``engine`` selects the Monte-Carlo engine for
     the reliability experiments; ``cache_dir`` persists per-cell results
-    for the performance campaigns; ``profile_to`` additionally writes a
-    per-pass cProfile dump of the fast perf engine; other experiments
-    reject them.
+    for the performance campaigns; ``store_url`` routes those results
+    through a shared networked store instead; ``profile_to``
+    additionally writes a per-pass cProfile dump of the fast perf
+    engine; other experiments reject them.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -324,6 +378,18 @@ def run_experiment(
                 f"cache-aware: {', '.join(sorted(CACHE_AWARE))}"
             )
         kwargs["cache_dir"] = cache_dir
+    if store_url is not None:
+        if name not in STORE_URL_AWARE:
+            raise ValueError(
+                f"experiment {name!r} does not take --store-url; "
+                f"store-url-aware: {', '.join(sorted(STORE_URL_AWARE))}"
+            )
+        if cache_dir is not None:
+            raise ValueError(
+                "--store-url and --cache-dir are mutually exclusive: the "
+                "networked store replaces the local cache directory"
+            )
+        kwargs["store_url"] = store_url
     if profile_to is not None:
         if name not in PROFILE_AWARE:
             raise ValueError(

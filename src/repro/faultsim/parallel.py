@@ -40,6 +40,7 @@ from repro.campaign import (
     Campaign,
     CampaignProgress,
     ProgressBase,
+    fingerprint_digest,
     run_campaign,
 )
 from repro.campaign import resolve_workers as _resolve_workers
@@ -172,7 +173,11 @@ class _FaultSimCampaign(Campaign):
     Checkpoint directories keep their historical contract — exactly one
     ``shard-NNNNN.json`` per shard and nothing else — so the store's
     index is disabled; checkpoints are per-run scratch, not a shared
-    result cache.
+    result cache. ``shared_store=True`` (a store *object* was supplied,
+    e.g. a networked :class:`repro.campaign.RemoteResultStore`) flips
+    both decisions: cells get digest-based names so different runs'
+    shards can coexist in one shared namespace, and completions are
+    indexed so ``campaign-status`` sees the family.
     """
 
     name = "faultsim"
@@ -185,12 +190,16 @@ class _FaultSimCampaign(Campaign):
         config: MonteCarloConfig,
         engine: str,
         base_fingerprint: dict,
+        shared_store: bool = False,
     ):
         self.evaluator = evaluator
         self.geometry = geometry
         self.config = config
         self.engine = engine
         self.base_fingerprint = base_fingerprint
+        self.shared_store = shared_store
+        if shared_store:
+            self.index_results = True
 
     def fingerprint(self, item: _ShardItem) -> dict:
         shard = item.shard
@@ -200,6 +209,8 @@ class _FaultSimCampaign(Campaign):
         }
 
     def cell_name(self, item: _ShardItem, fingerprint: dict) -> str:
+        if self.shared_store:
+            return f"faultsim-{fingerprint_digest(fingerprint)}.json"
         return f"shard-{item.index:05d}.json"
 
     def run_item(self, item: _ShardItem) -> List[FailureRecord]:
@@ -241,6 +252,7 @@ def simulate_parallel(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
+    store=None,
     progress: Optional[ProgressCallback] = None,
 ) -> ReliabilityResult:
     """Sharded equivalent of :func:`simulate`; identical output.
@@ -248,7 +260,11 @@ def simulate_parallel(
     Keyword overrides take precedence over the corresponding
     ``MonteCarloConfig`` fields. With ``workers == 1`` the shards run
     in-process (no pool), which still exercises checkpointing and
-    progress reporting.
+    progress reporting. ``store`` accepts a ready store object (e.g. a
+    networked :class:`repro.campaign.RemoteResultStore`); it takes
+    precedence over ``checkpoint_dir`` and switches the campaign to
+    digest-based cell names so shards from different runs share one
+    namespace safely.
     """
     config = config or MonteCarloConfig()
     workers = resolve_workers(workers, config)
@@ -267,7 +283,14 @@ def simulate_parallel(
     plan = plan_shards(config.n_modules, shards)
     fault_counts = draw_fault_counts(config, geometry)
 
-    campaign = _FaultSimCampaign(evaluator, geometry, config, engine, fingerprint)
+    campaign = _FaultSimCampaign(
+        evaluator,
+        geometry,
+        config,
+        engine,
+        fingerprint,
+        shared_store=store is not None,
+    )
     items = [
         _ShardItem(shard, fault_counts[shard.lo : shard.hi]) for shard in plan
     ]
@@ -292,6 +315,7 @@ def simulate_parallel(
         items,
         workers=workers,
         store_dir=checkpoint_dir,
+        store=store,
         progress=translate if progress is not None else None,
     )
 

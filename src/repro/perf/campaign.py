@@ -272,6 +272,7 @@ def run_cells(
     *,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    store=None,
     progress: Optional[ProgressCallback] = None,
 ) -> Dict[Tuple[str, str, int], SystemResult]:
     """Simulate every cell; returns results keyed by :attr:`CampaignCell.key`.
@@ -280,7 +281,9 @@ def run_cells(
     mapping is keyed, every cell is deterministic in its fingerprint, and
     cached cells are verified against the full fingerprint before use.
     With ``workers == 1`` the cells run in-process (no pool), which still
-    exercises caching and progress reporting.
+    exercises caching and progress reporting. ``store`` accepts a ready
+    store object — e.g. a :class:`repro.campaign.RemoteResultStore`
+    sharing cells across hosts — and takes precedence over ``cache_dir``.
     """
     config = config or PerfConfig()
     # Resolve the engine once, here in the parent: fingerprints, the
@@ -310,6 +313,7 @@ def run_cells(
         cells,
         workers=workers,
         store_dir=cache_dir,
+        store=store,
         progress=translate if progress is not None else None,
     )
     return {cell.key: results[cell.index] for cell in cells}
@@ -360,6 +364,7 @@ def run_comparison_parallel(
     *,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    store=None,
     progress: Optional[ProgressCallback] = None,
 ) -> List[WorkloadResult]:
     """Campaign equivalent of :func:`repro.perf.model.run_comparison`.
@@ -370,7 +375,12 @@ def run_comparison_parallel(
     config = config or PerfConfig()
     cells = plan_grid(organizations, workloads, [config.seed], baseline)
     by_key = run_cells(
-        cells, config, workers=workers, cache_dir=cache_dir, progress=progress
+        cells,
+        config,
+        workers=workers,
+        cache_dir=cache_dir,
+        store=store,
+        progress=progress,
     )
     names = (
         list(workloads)
@@ -398,6 +408,7 @@ def run_comparison_multiseed_parallel(
     *,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    store=None,
     progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, MultiSeedSummary]:
     """Campaign equivalent of :func:`run_comparison_multiseed`.
@@ -409,7 +420,12 @@ def run_comparison_multiseed_parallel(
     config = config or PerfConfig()
     cells = plan_grid(organizations, workloads, list(seeds), baseline)
     by_key = run_cells(
-        cells, config, workers=workers, cache_dir=cache_dir, progress=progress
+        cells,
+        config,
+        workers=workers,
+        cache_dir=cache_dir,
+        store=store,
+        progress=progress,
     )
     names = (
         list(workloads)

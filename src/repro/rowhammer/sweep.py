@@ -316,14 +316,18 @@ def run_sweep(
     *,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    store=None,
     progress: Optional[ProgressCallback] = None,
 ) -> Dict[Tuple[str, str, str, int], SweepOutcome]:
     """Run every sweep point; results keyed by :attr:`SweepCell.key`.
 
     Bit-identical for any worker count; with a ``cache_dir`` a killed
-    sweep resumes from its verified points. The progress callback
-    receives the core's :class:`CampaignProgress` directly — the sweep
-    has no legacy field vocabulary to translate into.
+    sweep resumes from its verified points. ``store`` accepts a ready
+    store object (e.g. a :class:`repro.campaign.RemoteResultStore`, so
+    concurrent sweeps share points) and takes precedence over
+    ``cache_dir``. The progress callback receives the core's
+    :class:`CampaignProgress` directly — the sweep has no legacy field
+    vocabulary to translate into.
     """
     config = config or SweepConfig()
     workers = resolve_workers(workers)
@@ -332,6 +336,7 @@ def run_sweep(
         cells,
         workers=workers,
         store_dir=cache_dir,
+        store=store,
         progress=progress,
     )
     return {cell.key: results[cell.index] for cell in cells}

@@ -277,15 +277,30 @@ class TestIndex:
         store.store("c.json", dict(FP, seed=5), 3, campaign="beta", key=["c"])
         assert len(read_index(str(tmp_path))) == 3
         summary = summarize_index(str(tmp_path))
-        assert summary["alpha"] == {"completed": 2, "cells": 2, "entries": 2}
-        assert summary["beta"] == {"completed": 1, "cells": 1, "entries": 1}
+        assert summary["alpha"] == {
+            "completed": 2,
+            "cells": 2,
+            "entries": 2,
+            "failures": 0,
+        }
+        assert summary["beta"] == {
+            "completed": 1,
+            "cells": 1,
+            "entries": 1,
+            "failures": 0,
+        }
 
     def test_rewrites_count_once(self, tmp_path):
         store = ResultStore(str(tmp_path))
         for _ in range(3):
             store.store("a.json", FP, 1, campaign="alpha", key=["a"])
         summary = summarize_index(str(tmp_path))
-        assert summary["alpha"] == {"completed": 1, "cells": 1, "entries": 3}
+        assert summary["alpha"] == {
+            "completed": 1,
+            "cells": 1,
+            "entries": 3,
+            "failures": 0,
+        }
 
     def test_malformed_lines_are_skipped(self, tmp_path):
         store = ResultStore(str(tmp_path))
@@ -294,6 +309,32 @@ class TestIndex:
             handle.write("garbage not json\n")
             handle.write('{"no_campaign_field": true}\n')
         assert len(read_index(str(tmp_path))) == 1
+
+    def test_failure_totals(self, tmp_path):
+        """The index carries per-cell failure counts; summaries sum them."""
+        store = ResultStore(str(tmp_path))
+        store.store("a.json", FP, 1, campaign="alpha", key=["a"], failures=3)
+        store.store(
+            "b.json", dict(FP, seed=4), 2, campaign="alpha", key=["b"], failures=2
+        )
+        assert summarize_index(str(tmp_path))["alpha"]["failures"] == 5
+        # A rewrite replaces the cell's count (last entry wins) instead
+        # of double-counting it.
+        store.store("a.json", FP, 1, campaign="alpha", key=["a"], failures=1)
+        assert summarize_index(str(tmp_path))["alpha"]["failures"] == 3
+
+    def test_failure_totals_tolerate_legacy_entries(self, tmp_path):
+        """Entries written before the failures field contribute zero."""
+        store = ResultStore(str(tmp_path))
+        store.store("a.json", FP, 1, campaign="alpha", key=["a"], failures=2)
+        with open(tmp_path / INDEX_NAME, "a") as handle:
+            handle.write(
+                json.dumps({"campaign": "alpha", "key": ["b"], "cell": "b.json"})
+                + "\n"
+            )
+        summary = summarize_index(str(tmp_path))
+        assert summary["alpha"]["failures"] == 2
+        assert summary["alpha"]["cells"] == 2
 
     def test_missing_index(self, tmp_path):
         assert read_index(str(tmp_path)) == []
@@ -465,10 +506,136 @@ class TestRunCampaign:
                 max_backoff_s=0.02,
             )
 
+    def test_index_records_failure_totals(self, tmp_path):
+        """result_failures flows through the engine onto index entries."""
+        run_campaign(SquareCampaign(), _items(9), store_dir=str(tmp_path))
+        # squares over 50: 64, 81
+        assert summarize_index(str(tmp_path))["square"]["failures"] == 2
+
     def test_index_records_completed_items(self, tmp_path):
         run_campaign(SquareCampaign(), _items(3), store_dir=str(tmp_path))
         summary = summarize_index(str(tmp_path))
-        assert summary["square"] == {"completed": 3, "cells": 3, "entries": 3}
+        assert summary["square"] == {
+            "completed": 3,
+            "cells": 3,
+            "entries": 3,
+            "failures": 0,
+        }
         # A resume loads from the store and appends nothing new.
         run_campaign(SquareCampaign(), _items(3), store_dir=str(tmp_path))
         assert summarize_index(str(tmp_path))["square"]["entries"] == 3
+
+
+# -- crash-retry backoff jitter --------------------------------------------------
+
+
+class TestBackoffJitter:
+    """Retry backoff is stretched by bounded, *seeded* random jitter."""
+
+    def _sleeps_for(self, tmp_path, label, monkeypatch_sleeps, jitter_seed):
+        flag_dir = tmp_path / label
+        flag_dir.mkdir()
+        start = len(monkeypatch_sleeps)
+        # One group of two crash-once items: the group crashes in round
+        # 1 (item 0 flags) and round 2 (item 1 flags), completing in
+        # round 3 — exactly two deterministic backoff sleeps.
+        results = run_campaign(
+            CrashOnceCampaign(str(flag_dir)),
+            _items(2, groups=[0, 0]),
+            workers=2,
+            backoff_s=0.5,
+            max_backoff_s=4.0,
+            backoff_jitter=0.25,
+            jitter_seed=jitter_seed,
+        )
+        assert {i: r["square"] for i, r in results.items()} == {0: 1, 1: 4}
+        return monkeypatch_sleeps[start:]
+
+    def test_seeded_jitter_is_deterministic_and_bounded(
+        self, tmp_path, monkeypatch
+    ):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.campaign.engine.time.sleep", lambda s: sleeps.append(s)
+        )
+        first = self._sleeps_for(tmp_path, "a", sleeps, jitter_seed=7)
+        second = self._sleeps_for(tmp_path, "b", sleeps, jitter_seed=7)
+        assert first == second
+        assert len(first) == 2
+        # Jitter stretches, never shortens, and is bounded by the knob:
+        # base * [1, 1.25] with base 0.5 then 1.0.
+        assert 0.5 <= first[0] <= 0.5 * 1.25
+        assert 1.0 <= first[1] <= 1.0 * 1.25
+
+    def test_different_seeds_desynchronize(self, tmp_path, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.campaign.engine.time.sleep", lambda s: sleeps.append(s)
+        )
+        first = self._sleeps_for(tmp_path, "a", sleeps, jitter_seed=1)
+        second = self._sleeps_for(tmp_path, "b", sleeps, jitter_seed=2)
+        assert first != second
+
+
+# -- ProgressBase under concurrent mutation --------------------------------------
+
+
+class TestProgressThreadSafety:
+    """The server mutates live ProgressBase objects from several threads
+    (asyncio loop + job executor threads); advance/update/snapshot must
+    stay exact and consistent under that concurrency."""
+
+    def test_concurrent_advance_loses_nothing(self):
+        progress = CampaignProgress(items_total=800, units_total=800)
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(100):
+                progress.advance(items_done=1, units_done=1, failures=1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert progress.items_done == 800
+        assert progress.units_done == 800
+        assert progress.failures == 800
+
+    def test_snapshot_is_consistent_and_serializable_under_mutation(self):
+        import pickle
+
+        progress = CampaignProgress(items_total=10_000, units_total=10_000)
+        stop = threading.Event()
+
+        def mutate():
+            while not stop.is_set():
+                # Both counters move inside one locked advance, so any
+                # consistent snapshot sees them equal.
+                progress.advance(items_done=1, units_done=1)
+
+        thread = threading.Thread(target=mutate)
+        thread.start()
+        try:
+            for _ in range(200):
+                snap = progress.snapshot()
+                assert snap.items_done == snap.units_done
+                assert "_lock" not in snap.__dict__
+                snap.describe()
+                revived = pickle.loads(pickle.dumps(snap))
+                assert revived.items_done == snap.items_done
+        finally:
+            stop.set()
+            thread.join()
+        # The live (locked) object itself pickles too: __getstate__
+        # drops the lock.
+        revived = pickle.loads(pickle.dumps(progress))
+        assert "_lock" not in revived.__dict__
+        revived.advance(items_done=1)  # lazily re-creates its lock
+
+    def test_update_sets_fields_atomically(self):
+        progress = CampaignProgress()
+        progress.update(items_done=3, items_total=9, elapsed_s=1.5)
+        assert (progress.items_done, progress.items_total) == (3, 9)
+        assert progress.elapsed_s == 1.5

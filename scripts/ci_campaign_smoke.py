@@ -11,10 +11,13 @@ grew out of:
    cell from the shared store.
 3. **Row-Hammer sweep**: 2-worker run matches sequential, resumes from
    the shared store.
-4. **Kill-and-resume**: a child process running the sweep is killed
+4. **Attack playbooks**: the library lints (every scenario compiles),
+   and a 2-worker playbook campaign matches sequential, resumes from
+   the shared store, and survives a mid-campaign kill.
+5. **Kill-and-resume**: a child process running the sweep is killed
    mid-campaign; the parent resumes from the partial store, recomputes
    only what is missing, and ends with identical results.
-5. **Kill-and-resume over the network**: the same death, but through a
+6. **Kill-and-resume over the network**: the same death, but through a
    live campaign server — the child's claims die with its socket, and
    the parent's 2-worker resume through a fresh
    :class:`RemoteResultStore` recomputes only the missing points.
@@ -39,6 +42,12 @@ from repro.faultsim.parallel import simulate_parallel
 from repro.perf.campaign import run_comparison_parallel
 from repro.perf.model import PerfConfig, run_comparison
 from repro.perf.organizations import safeguard
+from repro.rowhammer.playbook import (
+    PlaybookConfig,
+    lint_scenarios,
+    plan_playbook,
+    run_playbook,
+)
 from repro.rowhammer.sweep import SweepConfig, plan_sweep, run_sweep
 
 
@@ -125,6 +134,88 @@ def check_sweep(store: str) -> None:
     print(
         f"hammer-sweep OK: 2-worker sweep identical to sequential, "
         f"all {len(cells)} points reloaded from the shared store"
+    )
+
+
+PLAYBOOK_CONFIG = PlaybookConfig(budget=6_000)
+
+
+def playbook_cells():
+    return plan_playbook(
+        scenarios=["double-sided", "fuzzed-trr"],
+        mitigations=["none", "trr"],
+        schemes=["secded", "safeguard-secded"],
+        seeds=[3],
+        config=PLAYBOOK_CONFIG,
+    )
+
+
+#: Child payload for the playbook kill-and-resume: runs the playbook
+#: grid into the store at argv[1] and hard-exits after the third point.
+_PLAYBOOK_CHILD = """
+import os, sys
+from repro.rowhammer.playbook import PlaybookConfig, plan_playbook, run_playbook
+
+config = PlaybookConfig(budget=6_000)
+cells = plan_playbook(
+    scenarios=["double-sided", "fuzzed-trr"],
+    mitigations=["none", "trr"],
+    schemes=["secded", "safeguard-secded"],
+    seeds=[3],
+    config=config,
+)
+
+def die_after_three(snap):
+    if snap.items_done >= 3:
+        os._exit(1)
+
+run_playbook(cells, config, cache_dir=sys.argv[1], progress=die_after_three)
+raise SystemExit("child was supposed to die mid-campaign")
+"""
+
+
+def check_playbook(store: str) -> None:
+    for line in lint_scenarios():
+        print(f"  lint {line}")
+    cells = playbook_cells()
+    sequential = run_playbook(cells, PLAYBOOK_CONFIG)
+    parallel = run_playbook(cells, PLAYBOOK_CONFIG, workers=2, cache_dir=store)
+    stats = []
+    cached = run_playbook(
+        cells, PLAYBOOK_CONFIG, cache_dir=store, progress=stats.append
+    )
+    as_json = lambda results: {k: v.to_json() for k, v in results.items()}  # noqa: E731
+    assert as_json(sequential) == as_json(parallel) == as_json(cached)
+    assert stats[-1].items_from_store == len(cells)
+    print(
+        f"playbook OK: library lints, 2-worker grid identical to "
+        f"sequential, all {len(cells)} points reloaded from the shared store"
+    )
+    # Kill-and-resume through a separate store.
+    kill_store = os.path.join(store, "killed-playbook")
+    env = dict(
+        os.environ,
+        PYTHONPATH="src" + os.pathsep + os.environ.get("PYTHONPATH", ""),
+    )
+    child = subprocess.run(
+        [sys.executable, "-c", _PLAYBOOK_CHILD, kill_store],
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    assert child.returncode == 1, f"child exited {child.returncode}, expected the kill"
+    partial = summarize_index(kill_store).get("playbook", {"completed": 0})
+    assert 0 < partial["completed"] < len(cells)
+    stats = []
+    resumed = run_playbook(
+        cells, PLAYBOOK_CONFIG, workers=2, cache_dir=kill_store,
+        progress=stats.append,
+    )
+    assert stats[-1].items_from_store == partial["completed"]
+    assert as_json(resumed) == as_json(sequential)
+    print(
+        f"playbook kill-and-resume OK: child died after "
+        f"{partial['completed']} points, 2-worker resume recomputed only "
+        f"the remaining {len(cells) - partial['completed']}"
     )
 
 
@@ -253,6 +344,7 @@ def check_status(store: str) -> None:
     assert summary["perf"]["cells"] == 8
     assert summary["perf"]["completed"] == 6
     assert summary["hammer-sweep"]["completed"] == len(sweep_cells())
+    assert summary["playbook"]["completed"] == len(playbook_cells())
     status = subprocess.run(
         [sys.executable, "-m", "repro", "campaign-status", store],
         capture_output=True,
@@ -264,6 +356,7 @@ def check_status(store: str) -> None:
     )
     assert status.returncode == 0, status.stderr
     assert "perf" in status.stdout and "hammer-sweep" in status.stdout
+    assert "playbook" in status.stdout
     print("campaign-status OK:")
     print(status.stdout.rstrip())
 
@@ -273,6 +366,7 @@ def main() -> int:
         check_faultsim(store)
         check_perf(store)
         check_sweep(store)
+        check_playbook(store)
         reference = run_sweep(sweep_cells(), SWEEP_CONFIG)
         check_kill_and_resume(store, reference)
         check_kill_and_resume_remote(store, reference)

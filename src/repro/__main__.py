@@ -12,6 +12,10 @@ Usage::
     python -m repro fig7 --cache-dir .cells  # resumable per-cell result cache
     python -m repro fig7 --profile prof.json # + per-pass cProfile dump
     python -m repro hammer-sweep --workers 4 --cache-dir .sweep
+    python -m repro playbook list            # named attack scenarios
+    python -m repro playbook show many-sided # format + compiled preview
+    python -m repro playbook lint            # compile the whole library
+    python -m repro playbook run --scenario all --workers 2 --cache-dir .pb
     python -m repro campaign-status .sweep   # summarize a campaign store
     python -m repro serve --store-dir .shared --port 7797
     python -m repro fig7 --store-url HOST:7797      # shared networked cache
@@ -200,6 +204,125 @@ def _submit(argv) -> int:
     return 0
 
 
+def _playbook(argv, workers=None, scheme=None, cache_dir=None,
+              store_url=None) -> int:
+    """``python -m repro playbook``: the declarative attack-playbook engine.
+
+    Generic options (``--workers`` / ``--scheme`` / ``--cache-dir`` /
+    ``--store-url``) arrive pre-parsed from :func:`main`, same as for
+    the figure experiments.
+    """
+    import argparse
+    import json
+
+    from repro.rowhammer import playbook as pb
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro playbook",
+        description="Compile and run declarative Row-Hammer attack playbooks.",
+    )
+    parser.add_argument(
+        "action", choices=("run", "list", "show", "lint"),
+        help="run the campaign grid, list/show library scenarios, or "
+        "lint-compile the whole library",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="scenario name (for 'show')",
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to run (repeatable; 'all' or omitted = whole library)",
+    )
+    parser.add_argument(
+        "--mitigation", action="append", default=None, metavar="NAME",
+        help="mitigation to run against (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--seeds", default="3",
+        help="comma-separated point seeds (default: 3)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None,
+        help="activation budget per refresh window (default: "
+        f"{pb.PlaybookConfig().budget})",
+    )
+    parser.add_argument(
+        "--file", action="append", default=[], metavar="PATH",
+        help="JSON file with one playbook dict (or a list of them) to add "
+        "to the run (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.action == "list":
+        for spec in pb.SCENARIOS.values():
+            variants = len(pb.expand_spec(spec))
+            suffix = f" ({variants} variants)" if variants > 1 else ""
+            print(f"{spec.name:24} {spec.summary}{suffix}")
+        return 0
+    if args.action == "show":
+        if not args.target:
+            print("usage: python -m repro playbook show NAME", file=sys.stderr)
+            return 2
+        spec = pb.scenario(args.target)
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        config = pb.PlaybookConfig()
+        for variant in pb.expand_spec(spec):
+            pattern = pb.compile_playbook(
+                variant, base_row=config.victim_row, n_rows=config.n_rows
+            )
+            head = list(pattern.activations(24))
+            print(
+                f"{variant.name}: aggressors {tuple(pattern.aggressors)} "
+                f"victims {tuple(pattern.intended_victims)}\n"
+                f"  first activations: {head}"
+            )
+        return 0
+    if args.action == "lint":
+        for line in pb.lint_scenarios():
+            print(line)
+        print(f"{len(pb.SCENARIOS)} scenarios OK")
+        return 0
+
+    # action == "run"
+    extra_playbooks = []
+    for path in args.file:
+        with open(path) as handle:
+            payload = json.load(handle)
+        extra_playbooks.extend(payload if isinstance(payload, list) else [payload])
+    config = pb.PlaybookConfig()
+    if args.budget is not None:
+        config.budget = args.budget
+    scenarios = args.scenario
+    if scenarios is None or "all" in scenarios:
+        scenarios = None  # whole library + every --file playbook
+    seeds = tuple(int(seed) for seed in args.seeds.split(",") if seed)
+    cells = pb.plan_playbook(
+        scenarios=scenarios,
+        mitigations=tuple(args.mitigation) if args.mitigation
+        else pb.DEFAULT_MITIGATIONS,
+        schemes=(scheme,) if scheme else None,
+        seeds=seeds,
+        config=config,
+        extra_playbooks=extra_playbooks,
+    )
+    from repro.experiments.runner import _open_store, _print_progress
+
+    progress = _print_progress if workers and workers > 1 else None
+    with _open_store(store_url) as store:
+        outcomes = pb.run_playbook(
+            cells,
+            config,
+            workers=workers,
+            cache_dir=cache_dir,
+            store=store,
+            progress=progress,
+            extra_playbooks=extra_playbooks,
+        )
+    pb.report_playbook(outcomes)
+    return 0
+
+
 def _print_schemes() -> None:
     """The registry listing: name, capability flags, description."""
     for info in registry.schemes():
@@ -238,6 +361,18 @@ def main(argv=None) -> int:
     if name == "schemes":
         _print_schemes()
         return 0
+    if name == "playbook":
+        try:
+            return _playbook(
+                argv[1:],
+                workers=workers,
+                scheme=scheme,
+                cache_dir=cache_dir,
+                store_url=store_url,
+            )
+        except (OSError, ValueError) as error:
+            print(error, file=sys.stderr)
+            return 2
     if name == "serve":
         return _serve(argv[1:])
     if name == "submit":

@@ -23,6 +23,10 @@ Implements the threat the paper defends against (Sections I, II):
 - :mod:`repro.rowhammer.sweep` — the attack-sweep campaign (attacks x
   mitigations x organizations) over the generic campaign core
   (``python -m repro hammer-sweep``).
+- :mod:`repro.rowhammer.playbook` — declarative JSON/dict attack
+  playbooks compiled through the shared schedule compiler, a library of
+  named scenarios, and campaign execution across the full scheme
+  registry (``python -m repro playbook``).
 """
 
 from repro.rowhammer.thresholds import RH_THRESHOLDS, threshold_for
@@ -63,6 +67,21 @@ from repro.rowhammer.sweep import (
     plan_sweep,
     run_sweep,
 )
+from repro.rowhammer.playbook import (
+    SCENARIOS,
+    PlaybookCell,
+    PlaybookConfig,
+    PlaybookOutcome,
+    PlaybookSpec,
+    compile_playbook,
+    expand_spec,
+    lint_scenarios,
+    plan_playbook,
+    register_scenario,
+    report_playbook,
+    run_playbook,
+    scenario,
+)
 
 __all__ = [
     "RH_THRESHOLDS",
@@ -100,4 +119,17 @@ __all__ = [
     "SweepOutcome",
     "plan_sweep",
     "run_sweep",
+    "SCENARIOS",
+    "PlaybookCell",
+    "PlaybookConfig",
+    "PlaybookOutcome",
+    "PlaybookSpec",
+    "compile_playbook",
+    "expand_spec",
+    "lint_scenarios",
+    "plan_playbook",
+    "register_scenario",
+    "report_playbook",
+    "run_playbook",
+    "scenario",
 ]

@@ -18,9 +18,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
-from repro.rowhammer.attacks import AttackPattern
+from repro.rowhammer.attacks import (
+    AttackPattern,
+    SchedulePhase,
+    compile_schedule,
+    expand_weights,
+)
 from repro.rowhammer.mitigations import Mitigation
 from repro.rowhammer.model import DisturbanceModel, RowHammerConfig
 from repro.rowhammer.runner import AttackRunner
@@ -28,7 +33,16 @@ from repro.rowhammer.runner import AttackRunner
 
 @dataclass(frozen=True)
 class PatternGenome:
-    """A randomized hammering schedule around a victim row."""
+    """A randomized hammering schedule around a victim row.
+
+    Construction validates the genome: it must hammer *something* (at
+    least one aggressor with positive weight — an all-zero-weight genome
+    used to crash ``to_attack`` with a ``ZeroDivisionError``), aggressor
+    offsets must not be 0, and flush offsets must stay out of
+    ``{-1, 0, +1}`` — a flush row landing on the victim refreshes it,
+    and one landing on a distance-1 neighbour doubles as an extra true
+    aggressor; either silently mis-scores the genome.
+    """
 
     #: (row offset from victim, weight) pairs; offset 0 is forbidden
     #: (touching the victim refreshes it).
@@ -37,34 +51,79 @@ class PatternGenome:
     flush_rows: Tuple[int, ...]
     flush_burst: int
 
-    def to_attack(self, victim: int) -> AttackPattern:
-        rows: List[int] = []
+    def __post_init__(self) -> None:
+        if not self.aggressors:
+            raise ValueError("a genome needs at least one aggressor")
+        total_weight = 0
         for offset, weight in self.aggressors:
-            rows.extend([victim + offset] * weight)
-        flush = [victim + offset for offset in self.flush_rows]
+            if offset == 0:
+                raise ValueError(
+                    "aggressor offset 0 is forbidden "
+                    "(touching the victim refreshes it)"
+                )
+            if weight < 0:
+                raise ValueError(f"aggressor weight must be >= 0, got {weight}")
+            total_weight += weight
+        if total_weight == 0:
+            raise ValueError(
+                "every aggressor weight is 0: the genome hammers nothing"
+            )
+        for offset in self.flush_rows:
+            if offset in (-1, 0, 1):
+                raise ValueError(
+                    f"flush offset {offset} is forbidden: it lands on the "
+                    "victim or a distance-1 neighbour and corrupts scoring"
+                )
+        if self.flush_burst < 0:
+            raise ValueError(
+                f"flush_burst must be >= 0, got {self.flush_burst}"
+            )
 
-        def schedule(budget: int, ref_period: int) -> Iterator[int]:
-            hammer_slots = max(1, ref_period - self.flush_burst * bool(flush))
-            issued = 0
-            i = 0
-            j = 0
-            while issued < budget:
-                for _ in range(min(hammer_slots, budget - issued)):
-                    yield rows[i % len(rows)]
-                    i += 1
-                    issued += 1
-                if flush:
-                    for _ in range(min(self.flush_burst, budget - issued)):
-                        yield flush[j % len(flush)]
-                        j += 1
-                        issued += 1
-
+    def to_attack(self, victim: int) -> AttackPattern:
+        phases = [
+            SchedulePhase(
+                rows=expand_weights(
+                    [(victim + offset, weight) for offset, weight in self.aggressors]
+                )
+            )
+        ]
+        flush = tuple(victim + offset for offset in self.flush_rows)
+        if flush and self.flush_burst > 0:
+            phases.append(SchedulePhase(rows=flush, reads=self.flush_burst))
         return AttackPattern(
             name="fuzzed",
             aggressors=tuple(sorted({victim + o for o, _ in self.aggressors})),
             intended_victims=(victim,),
-            schedule=schedule,
+            schedule=compile_schedule(phases),
         )
+
+    def to_playbook(self, name: str, summary: str = "") -> dict:
+        """The genome as a playbook payload (victim-relative offsets).
+
+        Compiling the returned payload reproduces ``to_attack``'s
+        activation stream bit-identically for any in-bank victim, which
+        is how fuzzer champions become named library scenarios in
+        :mod:`repro.rowhammer.playbook`.
+        """
+        phases: List[dict] = [
+            {
+                "rows": [
+                    {"offset": offset, "weight": weight}
+                    for offset, weight in self.aggressors
+                ]
+            }
+        ]
+        if self.flush_rows and self.flush_burst > 0:
+            phases.append(
+                {
+                    "rows": [{"offset": offset} for offset in self.flush_rows],
+                    "reads": self.flush_burst,
+                }
+            )
+        payload = {"name": name, "phases": phases, "victims": [0]}
+        if summary:
+            payload["summary"] = summary
+        return payload
 
 
 @dataclass

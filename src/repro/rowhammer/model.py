@@ -29,7 +29,21 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.dram.timing import max_activations_per_refresh_window
 from repro.utils.rng import derive_seed
+
+#: REF commands per 64ms refresh window (tREFI = 7.8us -> 8192 per 64ms).
+REFS_PER_WINDOW = 8192
+
+#: Activations between consecutive REF commands at the full attack
+#: budget: the one source of truth for the REF cadence that REF-gated
+#: schedules (TRRespass flush bursts) synchronize against. The runner
+#: derives the actual per-run cadence from its budget and
+#: ``REFS_PER_WINDOW``; this constant is only the default for schedules
+#: iterated outside a runner. Keeping it derived (not a copied literal)
+#: means an override of the refresh interval can never desynchronize
+#: attack schedules from the mitigation's actual REF cadence.
+DEFAULT_REF_PERIOD = max(1, max_activations_per_refresh_window() // REFS_PER_WINDOW)
 
 
 @dataclass

@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.rowhammer.attacks import AttackPattern
 from repro.rowhammer.mitigations import Mitigation, NoMitigation
-from repro.rowhammer.model import DisturbanceModel
+from repro.rowhammer.model import REFS_PER_WINDOW, DisturbanceModel
 
 from repro.dram.timing import max_activations_per_refresh_window
 
@@ -16,8 +16,12 @@ from repro.dram.timing import max_activations_per_refresh_window
 #: attack loop achieves somewhat less).
 ACTIVATIONS_PER_WINDOW = max_activations_per_refresh_window()
 
-#: REF commands per window (tREFI = 7.8us -> 8192 per 64ms).
-REFS_PER_WINDOW = 8192
+__all__ = [
+    "ACTIVATIONS_PER_WINDOW",
+    "REFS_PER_WINDOW",
+    "AttackResult",
+    "AttackRunner",
+]
 
 
 @dataclass

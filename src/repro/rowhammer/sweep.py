@@ -101,7 +101,7 @@ class SweepConfig:
     flips_per_crossing: float = 6.0
 
 
-def _make_mitigation(name: str, config: SweepConfig, seed: int) -> Mitigation:
+def make_mitigation(name: str, config: SweepConfig, seed: int) -> Mitigation:
     """Instantiate a mitigation by name, sized for the sweep's regime."""
     if name == "none":
         return NoMitigation()
@@ -196,7 +196,7 @@ def plan_sweep(
     for seed in seeds:
         for attack in attacks:
             for mitigation in mitigations:
-                _make_mitigation(mitigation, SweepConfig(), seed)
+                make_mitigation(mitigation, SweepConfig(), seed)
                 for scheme in schemes:
                     cells.append(
                         SweepCell(
@@ -220,7 +220,7 @@ def _attack_result(cell: SweepCell, config: SweepConfig):
     )
     runner = AttackRunner(
         DisturbanceModel(rh_config),
-        _make_mitigation(cell.mitigation, config, cell.seed),
+        make_mitigation(cell.mitigation, config, cell.seed),
     )
     return (
         runner.run(
